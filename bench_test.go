@@ -1,0 +1,331 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablations for the design decisions DESIGN.md
+// calls out. Each benchmark runs the corresponding experiment driver on
+// the quick suite and reports its headline number as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result. cmd/hipstr-bench runs the full-size suite.
+package hipstr_test
+
+import (
+	"io"
+	"testing"
+
+	"hipstr"
+	"hipstr/internal/attack"
+	"hipstr/internal/dbt"
+	"hipstr/internal/isa"
+	"hipstr/internal/migrate"
+	"hipstr/internal/perf"
+	"hipstr/internal/psr"
+	"hipstr/internal/stats"
+	"hipstr/internal/workload"
+)
+
+func quickSuite() *hipstr.ExperimentSuite {
+	return hipstr.NewQuickExperiments(io.Discard)
+}
+
+func BenchmarkFig3ClassicROPSurface(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reduc []float64
+		for _, r := range rows {
+			if r.Viable > 0 {
+				reduc = append(reduc, float64(r.Obfuscated)/float64(r.Viable))
+			}
+		}
+		b.ReportMetric(100*stats.Mean(reduc), "%obfuscated")
+	}
+}
+
+func BenchmarkFig4BruteForceSurface(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var surv []float64
+		for _, r := range rows {
+			surv = append(surv, float64(r.Surviving)/float64(r.Total))
+		}
+		b.ReportMetric(100*stats.Mean(surv), "%surviving")
+	}
+}
+
+func BenchmarkTable2BruteForce(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bits []float64
+		for _, r := range rows {
+			bits = append(bits, r.EntropyBits)
+		}
+		b.ReportMetric(stats.Mean(bits), "entropy-bits")
+	}
+}
+
+func BenchmarkFig5JITROPSurface(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		survivors := 0
+		for _, r := range rows {
+			survivors += r.JIT.Survivors
+		}
+		b.ReportMetric(float64(survivors), "survivors")
+	}
+}
+
+func BenchmarkFig6MigrationSafety(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var f []float64
+		for _, r := range rows {
+			f = append(f, r.X86ToARM, r.ARMToX86)
+		}
+		b.ReportMetric(100*stats.Mean(f), "%safe")
+	}
+}
+
+func BenchmarkFig7Entropy(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		pts := s.Fig7(33)
+		b.ReportMetric(pts[7].Entropy[attack.TechHIPStR], "bits@chain8")
+	}
+}
+
+func BenchmarkFig8Tailored(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		curves, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range curves {
+			if c.Technique == attack.TechHIPStR {
+				b.ReportMetric(c.Surviving[len(c.Surviving)-1], "survivors@p1")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9OptLevels(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var o3 []float64
+		for _, r := range rows {
+			o3 = append(o3, r.O3)
+		}
+		b.ReportMetric(100*stats.Mean(o3), "%of-native@O3")
+	}
+}
+
+func BenchmarkFig10StackEntropy(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var drop []float64
+		for _, r := range rows {
+			drop = append(drop, r.S8-r.S64)
+		}
+		b.ReportMetric(100*stats.Mean(drop), "%drop-S8-to-S64")
+	}
+}
+
+func BenchmarkFig11RATSize(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		pts, err := s.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*pts[0].Overhead, "%overhead@RAT32")
+	}
+}
+
+func BenchmarkFig12Migration(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var toARM []float64
+		for _, r := range rows {
+			if r.ToARMus > 0 {
+				toARM = append(toARM, r.ToARMus)
+			}
+		}
+		b.ReportMetric(stats.Mean(toARM), "us-x86-to-arm")
+	}
+}
+
+func BenchmarkFig13CodeCache(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		pts, err := s.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pts[len(pts)-1].SecurityEvents), "events@largest")
+	}
+}
+
+func BenchmarkFig14VsIsomeron(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		curves, err := s.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hip, iso float64
+		for _, c := range curves {
+			last := c.Relative[len(c.Relative)-1]
+			switch c.System {
+			case "HIPStR-2MB":
+				hip = last
+			case "Isomeron":
+				iso = last
+			}
+		}
+		b.ReportMetric(100*(hip/iso-1), "%faster-than-isomeron@p1")
+	}
+}
+
+func BenchmarkHTTPDCaseStudy(b *testing.B) {
+	s := quickSuite()
+	for i := 0; i < b.N; i++ {
+		res, err := s.HTTPD()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.JIT.Survivors), "jitrop-survivors")
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationRegCacheSize sweeps the global register cache size the
+// paper fixes at 3 (§5.4).
+func BenchmarkAblationRegCacheSize(b *testing.B) {
+	p, _ := workload.ProfileByName("libquantum")
+	bin, err := workload.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	native, err := perf.MeasureNative(bin, isa.X86, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int{0, 3} {
+			cfg := dbt.DefaultConfig()
+			cfg.MigrateProb = 0
+			if size == 0 {
+				cfg.Opt = dbt.O1
+			}
+			m, _, err := perf.MeasureVM(bin, isa.X86, cfg, 1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if size == 0 {
+				b.ReportMetric(100*perf.Relative(native, m), "%native-cache0")
+			} else {
+				b.ReportMetric(100*perf.Relative(native, m), "%native-cache3")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDualTranslation measures the §3.5 optimization of
+// translating each compulsory miss for both ISAs.
+func BenchmarkAblationDualTranslation(b *testing.B) {
+	p, _ := workload.ProfileByName("libquantum")
+	bin, err := workload.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, dual := range []bool{false, true} {
+			cfg := dbt.DefaultConfig()
+			cfg.DualTranslate = dual
+			cfg.MigrateProb = 0
+			vm, err := dbt.New(bin, isa.X86, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := vm.Run(300_000); err != nil {
+				b.Fatal(err)
+			}
+			warm := float64(vm.Cache(isa.ARM).NumUnits())
+			if dual {
+				b.ReportMetric(warm, "arm-units-dual")
+			} else {
+				b.ReportMetric(warm, "arm-units-single")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationRegisterBias isolates the O3 register-bias entropy/
+// performance trade (§5.4).
+func BenchmarkAblationRegisterBias(b *testing.B) {
+	p, _ := workload.ProfileByName("libquantum")
+	bin, err := workload.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, bias := range []bool{false, true} {
+			cfg := psr.DefaultConfig()
+			cfg.RegisterBias = bias
+			res := attack.SimulateBruteForce(bin, cfg, 1)
+			if bias {
+				b.ReportMetric(res.AttemptsBias, "attempts-bias")
+			} else {
+				b.ReportMetric(res.AttemptsNoBias, "attempts-nobias")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationOnDemandMigration contrasts the prior work's ~45%
+// migration-safe regime with HIPStR's on-demand transformation (§5.2).
+func BenchmarkAblationOnDemandMigration(b *testing.B) {
+	p, _ := workload.ProfileByName("mcf")
+	bin, err := workload.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		on := migrate.AnalyzeSafety(bin, migrate.DefaultPolicy())
+		off := migrate.AnalyzeSafety(bin, migrate.Policy{OnDemand: false})
+		b.ReportMetric(100*on.Fraction(isa.X86), "%safe-ondemand")
+		b.ReportMetric(100*off.Fraction(isa.X86), "%safe-legacy")
+	}
+}

@@ -1,0 +1,60 @@
+// Command gadgetscan mines a benchmark's fat binary for code-reuse gadgets
+// with the Galileo algorithm and classifies their concrete effects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hipstr"
+)
+
+func main() {
+	name := flag.String("workload", "libquantum", "benchmark to scan (see -list)")
+	arch := flag.String("isa", "x86", "isa to mine: x86 or arm")
+	list := flag.Bool("list", false, "list available workloads")
+	show := flag.Int("show", 8, "print this many sample viable gadgets")
+	flag.Parse()
+
+	if *list {
+		for _, n := range append(hipstr.Workloads(), "httpd") {
+			fmt.Println(n)
+		}
+		return
+	}
+	k := hipstr.X86
+	if *arch == "arm" {
+		k = hipstr.ARM
+	}
+	bin, err := hipstr.CompileWorkload(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs := hipstr.MineGadgets(bin, k)
+	viable := 0
+	unaligned := 0
+	shown := 0
+	for i := range gs {
+		if !gs[i].Aligned {
+			unaligned++
+		}
+		e := hipstr.GadgetEffect(bin, &gs[i])
+		if !e.Viable() {
+			continue
+		}
+		viable++
+		if shown < *show {
+			shown++
+			fmt.Printf("%s  pops=%v  chain-slot=%d\n", gs[i].String(), e.Pops, e.NextSlot)
+			for j := range gs[i].Instrs {
+				fmt.Printf("    %s\n", gs[i].Instrs[j].String())
+			}
+		}
+	}
+	fmt.Printf("\n%s on %s: %d gadgets (%d unintentional), %d viable for brute force\n",
+		*name, k, len(gs), unaligned, viable)
+	bf := hipstr.SimulateBruteForce(bin, 1)
+	fmt.Printf("Algorithm 1: avg %.2f randomizable params, %.0f bits entropy, %.2e attempts\n",
+		bf.AvgParams, bf.EntropyBits, bf.AttemptsNoBias)
+}

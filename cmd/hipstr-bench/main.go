@@ -1,0 +1,79 @@
+// Command hipstr-bench regenerates every table and figure of the paper's
+// evaluation (§6-7) and prints them as text tables. Use -quick for a
+// reduced sweep on the three smallest benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"hipstr"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps on the three smallest benchmarks")
+	outPath := flag.String("out", "", "also write the report to this file")
+	only := flag.String("only", "", "run a single experiment (table2, fig3..fig14, httpd)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	var s *hipstr.ExperimentSuite
+	if *quick {
+		s = hipstr.NewQuickExperiments(w)
+	} else {
+		s = hipstr.NewExperiments(w)
+	}
+
+	type exp struct {
+		name string
+		run  func() error
+	}
+	var table2Bits float64 = 30
+	exps := []exp{
+		{"fig3", func() error { _, err := s.Fig3(); return err }},
+		{"fig4", func() error { _, err := s.Fig4(); return err }},
+		{"table2", func() error {
+			rows, err := s.Table2()
+			if err == nil && len(rows) > 0 {
+				sum := 0.0
+				for _, r := range rows {
+					sum += r.EntropyBits
+				}
+				table2Bits = sum / float64(len(rows))
+			}
+			return err
+		}},
+		{"fig5", func() error { _, err := s.Fig5(); return err }},
+		{"fig6", func() error { _, err := s.Fig6(); return err }},
+		{"fig7", func() error { s.Fig7(table2Bits); return nil }},
+		{"fig8", func() error { _, err := s.Fig8(); return err }},
+		{"fig9", func() error { _, err := s.Fig9(); return err }},
+		{"fig10", func() error { _, err := s.Fig10(); return err }},
+		{"fig11", func() error { _, err := s.Fig11(); return err }},
+		{"fig12", func() error { _, err := s.Fig12(); return err }},
+		{"fig13", func() error { _, err := s.Fig13(); return err }},
+		{"fig14", func() error { _, err := s.Fig14(); return err }},
+		{"httpd", func() error { _, err := s.HTTPD(); return err }},
+	}
+	for _, e := range exps {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		if err := e.run(); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+	}
+	fmt.Fprintln(w, "\ndone.")
+}

@@ -1,0 +1,57 @@
+// Command hipstr-run executes a benchmark natively or under the PSR /
+// HIPStR virtual machines and reports execution statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hipstr"
+)
+
+func main() {
+	name := flag.String("workload", "libquantum", "benchmark to run")
+	mode := flag.String("mode", "hipstr", "native | psr | hipstr")
+	steps := flag.Uint64("steps", 50_000_000, "instruction budget")
+	seed := flag.Int64("seed", 1, "randomization seed")
+	flag.Parse()
+
+	bin, err := hipstr.CompileWorkload(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *mode {
+	case "native":
+		p, err := hipstr.RunNative(bin, hipstr.X86)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := p.Run(*steps)
+		fmt.Printf("native: %d instructions, exited=%v code=%d writes=%d err=%v\n",
+			n, p.Exited, p.ExitCode, len(p.Trace), err)
+	case "psr", "hipstr":
+		cfg := hipstr.Defaults()
+		cfg.DBT.Seed = *seed
+		if *mode == "psr" {
+			cfg.Mode = hipstr.ModePSR
+		}
+		s, err := hipstr.Protect(bin, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := s.Run(*steps)
+		fmt.Printf("%s: %d instructions, exited=%v code=%d err=%v\n",
+			*mode, n, s.Exited(), s.ExitCode(), err)
+		st := s.VM.Stats
+		fmt.Printf("  translations x86=%d arm=%d, indirect dispatches=%d\n",
+			st.Translations[hipstr.X86], st.Translations[hipstr.ARM], st.IndirectDispatch)
+		fmt.Printf("  security events=%d, migrations=%d, kills=%d, flushes=%d\n",
+			st.SecurityEvents, st.Migrations, st.Kills, st.Flushes)
+		rat := s.VM.RATOf(s.Active())
+		fmt.Printf("  RAT: %d lookups, %d misses (active core: %s)\n",
+			rat.Lookups, rat.Misses, s.Active())
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

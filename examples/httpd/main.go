@@ -1,0 +1,19 @@
+// httpd reproduces the paper's §7.1 case study on the network-daemon
+// workload: mine its attack surface, measure how much of it PSR
+// obfuscates, run the Algorithm 1 brute-force analysis, and show the
+// JIT-ROP funnel after heterogeneous-ISA migration gating.
+package main
+
+import (
+	"log"
+	"os"
+
+	"hipstr"
+)
+
+func main() {
+	s := hipstr.NewQuickExperiments(os.Stdout)
+	if _, err := s.HTTPD(); err != nil {
+		log.Fatal(err)
+	}
+}

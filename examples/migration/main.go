@@ -1,0 +1,73 @@
+// migration demonstrates PSR-aware cross-ISA execution migration: a
+// benchmark starts on the x86 core, is migrated to the ARM core and back
+// at phase boundaries (with full stack transformation between relocation
+// maps), and still computes the same result as native execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hipstr"
+)
+
+func main() {
+	bin, err := hipstr.CompileWorkload("libquantum")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference result.
+	native, err := hipstr.RunNative(bin, hipstr.X86)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := native.Run(80_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native x86: exit=%d\n", native.ExitCode)
+
+	// Protected run with phase migrations forced every few hundred
+	// thousand instructions.
+	cfg := hipstr.Defaults()
+	cfg.DBT.MigrateProb = 0 // migrations below are explicit phase requests
+	sys, err := hipstr.Protect(bin, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hops := 0
+	for !sys.Exited() && hops < 6 {
+		if _, err := sys.Run(40_000); err != nil {
+			log.Fatal(err)
+		}
+		if sys.Exited() {
+			break
+		}
+		before := sys.Migrations()
+		sys.RequestPhaseMigration()
+		for !sys.Exited() && sys.Migrations() == before {
+			if _, err := sys.Run(10_000); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if sys.Migrations() > before {
+			hops++
+			fmt.Printf("hop %d: now on %-4s core, migration cost %6.0f us "+
+				"(%d frames, %d objects moved so far)\n",
+				hops, sys.Active(), sys.Engine.Stats.LastCostMicros,
+				sys.Engine.Stats.FramesMoved, sys.Engine.Stats.ObjectsMoved)
+		}
+	}
+	for !sys.Exited() {
+		if _, err := sys.Run(10_000_000); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("protected : exit=%d after %d migrations (total cost %.2f ms)\n",
+		sys.ExitCode(), sys.Migrations(), sys.Engine.Stats.TotalCostMicros/1000)
+	if sys.ExitCode() == native.ExitCode {
+		fmt.Println("results match: cross-ISA state transformation preserved the computation.")
+	} else {
+		fmt.Println("MISMATCH — this would be a bug.")
+	}
+}

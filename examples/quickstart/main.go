@@ -1,0 +1,72 @@
+// Quickstart: build a small program with the IR builder, compile it into a
+// multi-ISA fat binary, run it natively on both cores, and then run it
+// under the full HIPStR defense — same behavior, now with randomized
+// program state and heterogeneous-ISA migration armed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hipstr"
+)
+
+func main() {
+	// A program that computes the sum of the first n squares and exits
+	// with the result.
+	pb := hipstr.NewProgram("quickstart")
+	fb := pb.Func("main", 0)
+	n := fb.Const(10)
+	sum := fb.Const(0)
+	i := fb.Const(1)
+	loop := fb.NewBlock()
+	body := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.SetBlock(0)
+	fb.Jmp(loop)
+	fb.SetBlock(loop)
+	fb.Br(hipstr.LE, i, n, body, exit)
+	fb.SetBlock(body)
+	sq := fb.Bin(hipstr.Mul, i, i)
+	fb.BinTo(sum, hipstr.Add, sum, sq)
+	fb.BinImmTo(i, hipstr.Add, i, 1)
+	fb.Jmp(loop)
+	fb.SetBlock(exit)
+	fb.Syscall(1, sum) // exit(sum)
+	fb.Ret(sum)
+	mod, err := pb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bin, err := hipstr.Compile(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q: x86 text %d bytes, arm text %d bytes, %d functions\n",
+		bin.Module, len(bin.Text[hipstr.X86]), len(bin.Text[hipstr.ARM]), len(bin.Funcs))
+
+	// Native execution on each core.
+	for _, k := range []hipstr.ISA{hipstr.X86, hipstr.ARM} {
+		p, err := hipstr.RunNative(bin, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := p.Run(1_000_000); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("native %-4s: exit=%d (want %d)\n", k, p.ExitCode, 385)
+	}
+
+	// The same program under the full defense.
+	sys, err := hipstr.Protect(bin, hipstr.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Run(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HIPStR     : exit=%d, translations x86=%d arm=%d, security events=%d\n",
+		sys.ExitCode(), sys.VM.Stats.Translations[hipstr.X86],
+		sys.VM.Stats.Translations[hipstr.ARM], sys.SecurityEvents())
+}

@@ -1,0 +1,3 @@
+module hipstr
+
+go 1.22

@@ -1,0 +1,223 @@
+// Package hipstr is a full reproduction of "HIPStR: Heterogeneous-ISA
+// Program State Relocation" (Venkat, Shamasunder, Tullsen, Shacham —
+// ASPLOS 2016): a security defense that thwarts return-oriented
+// programming by combining run-time randomization of program state
+// (registers and stack objects) with non-deterministic execution migration
+// between the two ISAs of a heterogeneous chip multiprocessor.
+//
+// The package is the public facade over the complete system:
+//
+//   - a multi-ISA compiler producing fat binaries with a common stack
+//     frame organization and an extended symbol table,
+//   - two synthetic ISAs (a byte-dense x86-like and a strict, aligned
+//     ARM-like) with encoders, decoders, and interpreters,
+//   - the PSR virtual machines: dynamic binary translators that randomize
+//     calling conventions, register allocation, and stack slot coloring
+//     per function, police every indirect control transfer, and model the
+//     hardware Return Address Table,
+//   - PSR-aware cross-ISA migration with full stack transformation,
+//   - the attack suite (return-into-libc, ROP chains, Algorithm 1 brute
+//     force, JIT-ROP, tailored diversification bypass, Blind-ROP) and the
+//     Galileo gadget miner,
+//   - the cycle-approximate timing model of the paper's Table 1 cores,
+//   - and the benchmark generator plus experiment drivers regenerating
+//     every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	bin, _ := hipstr.CompileWorkload("libquantum")
+//	sys, _ := hipstr.Protect(bin, hipstr.Defaults())
+//	sys.Run(1_000_000)
+package hipstr
+
+import (
+	"fmt"
+	"io"
+
+	"hipstr/internal/attack"
+	"hipstr/internal/compiler"
+	"hipstr/internal/core"
+	"hipstr/internal/dbt"
+	"hipstr/internal/experiments"
+	"hipstr/internal/fatbin"
+	"hipstr/internal/gadget"
+	"hipstr/internal/isa"
+	"hipstr/internal/migrate"
+	"hipstr/internal/perf"
+	"hipstr/internal/proc"
+	"hipstr/internal/prog"
+	"hipstr/internal/psr"
+	"hipstr/internal/workload"
+)
+
+// ISA identifies one of the CMP's instruction sets.
+type ISA = isa.Kind
+
+// The two ISAs of the heterogeneous CMP.
+const (
+	X86 = isa.X86
+	ARM = isa.ARM
+)
+
+// Binary is a compiled multi-ISA fat binary.
+type Binary = fatbin.Binary
+
+// Module is an architecture-neutral program (the compiler's input); build
+// one with NewProgram.
+type Module = prog.Module
+
+// ProgramBuilder constructs Modules.
+type ProgramBuilder = prog.ModuleBuilder
+
+// NewProgram starts an empty program.
+func NewProgram(name string) *ProgramBuilder { return prog.NewModule(name) }
+
+// BinOp is an IR arithmetic operator.
+type BinOp = prog.BinOp
+
+// IR operators.
+const (
+	Add = prog.BinAdd
+	Sub = prog.BinSub
+	Mul = prog.BinMul
+	Div = prog.BinDiv
+	And = prog.BinAnd
+	Or  = prog.BinOr
+	Xor = prog.BinXor
+	Shl = prog.BinShl
+	Shr = prog.BinShr
+)
+
+// Cond is an IR branch condition.
+type Cond = isa.Cond
+
+// Branch conditions.
+const (
+	EQ = isa.CondEQ
+	NE = isa.CondNE
+	LT = isa.CondLT
+	GE = isa.CondGE
+	GT = isa.CondGT
+	LE = isa.CondLE
+)
+
+// Compile lowers a program to both ISAs.
+func Compile(m *Module) (*Binary, error) { return compiler.Compile(m) }
+
+// Workloads lists the benchmark suite (the paper's eight SPEC-like
+// programs; "httpd" is additionally available).
+func Workloads() []string { return workload.Names() }
+
+// CompileWorkload generates and compiles a named benchmark.
+func CompileWorkload(name string) (*Binary, error) {
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("hipstr: unknown workload %q (have %v)", name, workload.Names())
+	}
+	return workload.Compile(p)
+}
+
+// Config configures a protected process.
+type Config = core.Config
+
+// Mode selects the defense layers.
+type Mode = core.Mode
+
+// Defense modes.
+const (
+	ModePSR    = core.ModePSR
+	ModeHIPStR = core.ModeHIPStR
+)
+
+// Defaults returns the paper's main configuration: PSR at -O3 with 8 KiB
+// randomization space, 2 MiB code caches, a 512-entry RAT, and migration
+// probability 1 on security events.
+func Defaults() Config { return core.DefaultConfig() }
+
+// System is a process protected by HIPStR.
+type System = core.System
+
+// Protect boots bin under the configured defense.
+func Protect(bin *Binary, cfg Config) (*System, error) { return core.New(bin, cfg) }
+
+// Process is an unprotected native process (the baseline).
+type Process = proc.Process
+
+// RunNative boots bin for native execution on ISA k.
+func RunNative(bin *Binary, k ISA) (*Process, error) { return proc.New(bin, k) }
+
+// Gadget is a code-reuse gadget; Effect its concrete behavior.
+type Gadget = gadget.Gadget
+
+// Effect captures a gadget's attacker-visible behavior.
+type Effect = gadget.Effect
+
+// MineGadgets runs the Galileo miner over bin's ISA-k text section.
+func MineGadgets(bin *Binary, k ISA) []Gadget { return gadget.Mine(bin, k, 0) }
+
+// GadgetEffect concretely executes a gadget against an attacker stack.
+func GadgetEffect(bin *Binary, g *Gadget) Effect {
+	return gadget.NewAnalyzer(bin).NativeEffect(g)
+}
+
+// Victim is a program with a stack-overflow vulnerability, for attack
+// demonstrations.
+type Victim = attack.Victim
+
+// AttackOutcome classifies attack attempts.
+type AttackOutcome = attack.Outcome
+
+// Attack outcomes.
+const (
+	OutcomeShell    = attack.OutcomeShell
+	OutcomeCrash    = attack.OutcomeCrash
+	OutcomeKilled   = attack.OutcomeKilled
+	OutcomeNoEffect = attack.OutcomeNoEffect
+)
+
+// NewVictim compiles a vulnerable program with the given amount of
+// gadget-rich library code.
+func NewVictim(workers int) (*Victim, error) { return attack.BuildVictim(workers) }
+
+// BruteForceResult is a Table 2 row.
+type BruteForceResult = attack.BruteForceResult
+
+// SimulateBruteForce runs the paper's Algorithm 1 against bin.
+func SimulateBruteForce(bin *Binary, seed int64) BruteForceResult {
+	return attack.SimulateBruteForce(bin, psr.DefaultConfig(), seed)
+}
+
+// MigrationSafety is the Figure 6 analysis.
+type MigrationSafety = migrate.SafetyReport
+
+// AnalyzeMigrationSafety classifies every basic block by migration safety.
+func AnalyzeMigrationSafety(bin *Binary) MigrationSafety {
+	return migrate.AnalyzeSafety(bin, migrate.DefaultPolicy())
+}
+
+// Measurement is a work-normalized timing result.
+type Measurement = perf.Measurement
+
+// MeasurePSR runs bin under a PSR virtual machine and measures the work
+// window between progress markers warm and warm+measure.
+func MeasurePSR(bin *Binary, k ISA, warm, measure int) (Measurement, error) {
+	cfg := dbt.DefaultConfig()
+	cfg.MigrateProb = 0
+	m, _, err := perf.MeasureVM(bin, k, cfg, warm, measure)
+	return m, err
+}
+
+// MeasureNative measures native execution over the same window.
+func MeasureNative(bin *Binary, k ISA, warm, measure int) (Measurement, error) {
+	return perf.MeasureNative(bin, k, warm, measure)
+}
+
+// ExperimentSuite regenerates the paper's tables and figures.
+type ExperimentSuite = experiments.Suite
+
+// NewExperiments returns the full-suite experiment driver writing
+// human-readable tables to w.
+func NewExperiments(w io.Writer) *ExperimentSuite { return experiments.NewSuite(w) }
+
+// NewQuickExperiments returns a reduced suite for fast runs.
+func NewQuickExperiments(w io.Writer) *ExperimentSuite { return experiments.QuickSuite(w) }

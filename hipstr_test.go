@@ -1,0 +1,149 @@
+package hipstr_test
+
+import (
+	"testing"
+
+	"hipstr"
+)
+
+func TestPublicAPIWorkloadRoundTrip(t *testing.T) {
+	names := hipstr.Workloads()
+	if len(names) != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", len(names))
+	}
+	bin, err := hipstr.CompileWorkload("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hipstr.RunNative(bin, hipstr.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(80_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exited {
+		t.Fatal("native run did not exit")
+	}
+	sys, err := hipstr.Protect(bin, hipstr.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(120_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Exited() || sys.ExitCode() != p.ExitCode {
+		t.Fatalf("protected exit %d (exited=%v), native %d", sys.ExitCode(), sys.Exited(), p.ExitCode)
+	}
+}
+
+func TestPublicAPIUnknownWorkload(t *testing.T) {
+	if _, err := hipstr.CompileWorkload("nonesuch"); err == nil {
+		t.Fatal("expected an error for an unknown workload")
+	}
+}
+
+func TestPublicAPIProgramBuilder(t *testing.T) {
+	pb := hipstr.NewProgram("double")
+	fb := pb.Func("main", 0)
+	v := fb.Const(21)
+	d := fb.BinImm(hipstr.Mul, v, 2)
+	fb.Syscall(1, d)
+	fb.Ret(d)
+	mod, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := hipstr.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []hipstr.ISA{hipstr.X86, hipstr.ARM} {
+		p, err := hipstr.RunNative(bin, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		if p.ExitCode != 42 {
+			t.Fatalf("%s: exit %d, want 42", k, p.ExitCode)
+		}
+	}
+}
+
+func TestPublicAPIGadgetsAndBruteForce(t *testing.T) {
+	bin, err := hipstr.CompileWorkload("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := hipstr.MineGadgets(bin, hipstr.X86)
+	if len(gs) == 0 {
+		t.Fatal("no gadgets mined")
+	}
+	viable := 0
+	for i := range gs {
+		if hipstr.GadgetEffect(bin, &gs[i]).Viable() {
+			viable++
+		}
+	}
+	if viable == 0 {
+		t.Fatal("no viable gadgets")
+	}
+	bf := hipstr.SimulateBruteForce(bin, 1)
+	if bf.AttemptsNoBias < 1e12 {
+		t.Fatalf("brute force attempts %.2e too low", bf.AttemptsNoBias)
+	}
+}
+
+func TestPublicAPIMigrationSafety(t *testing.T) {
+	bin, err := hipstr.CompileWorkload("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := hipstr.AnalyzeMigrationSafety(bin)
+	if rep.Total == 0 || rep.Fraction(hipstr.X86) < 0.5 {
+		t.Fatalf("implausible safety report: %+v", rep)
+	}
+}
+
+func TestPublicAPIMeasurement(t *testing.T) {
+	bin, err := hipstr.CompileWorkload("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := hipstr.MeasureNative(bin, hipstr.X86, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psr, err := hipstr.MeasurePSR(bin, hipstr.X86, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psr.Cycles <= native.Cycles {
+		t.Fatalf("PSR (%f cycles) should cost more than native (%f)", psr.Cycles, native.Cycles)
+	}
+}
+
+func TestPublicAPIVictim(t *testing.T) {
+	v, err := hipstr.NewVictim(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := v.AttackNative(v.ReturnIntoLibc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != hipstr.OutcomeShell {
+		t.Fatalf("native attack: %v", out)
+	}
+	cfg := hipstr.Defaults()
+	cfg.DBT.Seed = 5
+	out, _, err = v.AttackProtected(cfg, v.ReturnIntoLibc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == hipstr.OutcomeShell {
+		t.Fatal("HIPStR failed to stop return-into-libc")
+	}
+}

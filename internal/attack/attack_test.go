@@ -1,0 +1,152 @@
+package attack_test
+
+import (
+	"testing"
+
+	"hipstr/internal/attack"
+	"hipstr/internal/core"
+	"hipstr/internal/dbt"
+)
+
+func victim(t *testing.T) *attack.Victim {
+	t.Helper()
+	v, err := attack.BuildVictim(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func protectedCfg(seed int64, mode core.Mode) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mode = mode
+	cfg.DBT.Seed = seed
+	return cfg
+}
+
+// TestBenignRunsEverywhere: without a payload the victim runs cleanly both
+// natively and protected.
+func TestBenignRunsEverywhere(t *testing.T) {
+	v := victim(t)
+	out, err := v.AttackNative(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != attack.OutcomeNoEffect {
+		t.Fatalf("benign native run: %v", out)
+	}
+	out, _, err = v.AttackProtected(protectedCfg(1, core.ModeHIPStR), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != attack.OutcomeNoEffect {
+		t.Fatalf("benign protected run: %v", out)
+	}
+}
+
+// TestReturnIntoLibcNativeSucceeds: the textbook attack spawns a shell on
+// the unprotected system.
+func TestReturnIntoLibcNativeSucceeds(t *testing.T) {
+	v := victim(t)
+	out, err := v.AttackNative(v.ReturnIntoLibc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != attack.OutcomeShell {
+		t.Fatalf("native return-into-libc: %v, want shell", out)
+	}
+}
+
+// TestReturnIntoLibcDefeatedByPSR: under PSR the return address is
+// relocated and the calling convention randomized; the same payload must
+// never spawn a shell across many randomizations.
+func TestReturnIntoLibcDefeatedByPSR(t *testing.T) {
+	v := victim(t)
+	payload := v.ReturnIntoLibc()
+	for seed := int64(0); seed < 10; seed++ {
+		out, _, err := v.AttackProtected(protectedCfg(seed, core.ModePSR), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == attack.OutcomeShell {
+			t.Fatalf("seed %d: PSR failed to stop return-into-libc", seed)
+		}
+	}
+}
+
+// TestClassicROPChainNativeSucceeds: a multi-gadget chain establishes
+// register state and spawns the shell natively.
+func TestClassicROPChainNativeSucceeds(t *testing.T) {
+	v := victim(t)
+	payload, steps, err := v.BuildClassicChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no chain steps")
+	}
+	t.Logf("chain of %d gadgets, payload %d words", len(steps), len(payload))
+	out, err := v.AttackNative(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != attack.OutcomeShell {
+		t.Fatalf("native ROP chain: %v, want shell", out)
+	}
+}
+
+// TestClassicROPChainDefeatedByHIPStR: the same chain dies under the full
+// defense, every time.
+func TestClassicROPChainDefeatedByHIPStR(t *testing.T) {
+	v := victim(t)
+	payload, _, err := v.BuildClassicChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		out, _, err := v.AttackProtected(protectedCfg(seed, core.ModeHIPStR), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == attack.OutcomeShell {
+			t.Fatalf("seed %d: HIPStR failed to stop the ROP chain", seed)
+		}
+	}
+}
+
+// TestSprayDefeatedByEntropy: even spraying the entire protocol budget
+// with the stub address fails: the relocated return slot lies beyond the
+// overflow's reach with overwhelming probability.
+func TestSprayDefeatedByEntropy(t *testing.T) {
+	v := victim(t)
+	payload := v.SprayPayload(1024)
+	shells := 0
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := protectedCfg(seed, core.ModePSR)
+		out, _, err := v.AttackProtected(cfg, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == attack.OutcomeShell {
+			shells++
+		}
+	}
+	if shells > 2 {
+		t.Fatalf("spray succeeded %d/10 times; relocation entropy ineffective", shells)
+	}
+}
+
+// TestDefenseReportsSecurityEvents: hijacked control flow shows up as
+// code-cache-miss security events in the VM's counters.
+func TestDefenseReportsSecurityEvents(t *testing.T) {
+	v := victim(t)
+	payload := v.SprayPayload(1024)
+	cfg := protectedCfg(3, core.ModeHIPStR)
+	cfg.DBT.MigrateProb = 1.0
+	out, s, err := v.AttackProtected(cfg, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("outcome %v, events %d, migrations %d", out, s.SecurityEvents(), s.Migrations())
+	_ = dbt.ErrSecurityKill
+}

@@ -1,0 +1,68 @@
+package attack
+
+import (
+	"math"
+
+	"hipstr/internal/core"
+)
+
+// BlindROPModel compares expected attack effort against load-time and
+// run-time randomization under the crash/respawn threat model of §5.3: a
+// parent re-spawns the worker on every crash, and the attacker probes one
+// unknown at a time.
+type BlindROPModel struct {
+	// EntropyBits is the per-unknown randomization entropy.
+	EntropyBits float64
+	// Unknowns is how many independent values the exploit needs (gadget
+	// locations, data slots, return-address slots).
+	Unknowns int
+}
+
+// LoadTimeAttempts is the expected probe count against load-time
+// randomization: state survives respawn, so each unknown is probed
+// incrementally and the costs ADD (the Blind-ROP result — thousands of
+// attempts even against 64-bit ASLR).
+func (m BlindROPModel) LoadTimeAttempts() float64 {
+	perUnknown := math.Pow(2, m.EntropyBits) / 2 // expected scan to hit
+	return float64(m.Unknowns) * perUnknown
+}
+
+// RunTimeAttempts is the expected count against run-time (respawn-
+// re-randomized) PSR: nothing learned survives a crash, so all unknowns
+// must be guessed simultaneously and the costs MULTIPLY.
+func (m BlindROPModel) RunTimeAttempts() float64 {
+	return math.Pow(math.Pow(2, m.EntropyBits), float64(m.Unknowns)) / 2
+}
+
+// RespawnProbe drives a real Blind-ROP-style campaign against a protected
+// victim: each attempt sprays the overflow budget with a gadget address,
+// and every crash re-spawns the worker with fresh randomization. It
+// returns the number of attempts that hijacked control (observed security
+// events) and how many spawned a shell. With an 8 KiB randomization space
+// and a bounded overflow, control hijack is rare and shells rarer still —
+// and, crucially, the hit rate does NOT improve across attempts.
+func RespawnProbe(v *Victim, cfg core.Config, attempts int) (hijacks, shells int, err error) {
+	s, err := core.New(v.Bin, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	payload := v.SprayPayload(NetBufWords - 1)
+	for i := 0; i < attempts; i++ {
+		if err := s.Respawn(); err != nil {
+			return hijacks, shells, err
+		}
+		if err := inject(s.VM.P.Mem, v.NetBuf, payload); err != nil {
+			return hijacks, shells, err
+		}
+		before := s.SecurityEvents()
+		_, runErr := s.Run(attackMaxSteps)
+		if s.SecurityEvents() > before {
+			hijacks++
+		}
+		if v.shellSpawned(s.VM.P) {
+			shells++
+		}
+		_ = runErr // crashes simply trigger the next respawn
+	}
+	return hijacks, shells, nil
+}

@@ -1,0 +1,127 @@
+package attack_test
+
+import (
+	"testing"
+
+	"hipstr/internal/attack"
+	"hipstr/internal/core"
+	"hipstr/internal/gadget"
+	"hipstr/internal/isa"
+	"hipstr/internal/proc"
+)
+
+// TestFunctionPointerHijack models the JOP / v-table-hijack family (§5.3):
+// instead of smashing a return address, the attacker corrupts a function
+// pointer. Natively the victim's next indirect call lands in attacker-
+// chosen code; under HIPStR the dispatch is policed — the target is
+// translated under PSR (obfuscating it) or software-fault-isolated.
+func TestFunctionPointerHijack(t *testing.T) {
+	v, err := attack.BuildVictim(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim's libc_execve entry is the attacker's favorite target.
+	ex := v.Bin.Func("libc_execve")
+	gEntry := ex.Entry[isa.X86]
+
+	// Natively: boot, corrupt main's first callee pointer... the victim
+	// has no function-pointer table, so emulate the hijack by poisoning
+	// the return-into-libc payload's target through the data section: use
+	// the netbuf as the corrupted "pointer" carrier and verify the direct
+	// form works (the ROP test covers return flow; here we validate that
+	// an indirect transfer to a *legitimate-looking* function entry is
+	// policed identically under the defense).
+	p, err := proc.New(v.Bin, isa.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the hijacked indirect call natively: set up machine state
+	// as the compiler's CallInd would and jump.
+	p.M.PC = gEntry
+	sp := p.M.SP() - 64
+	p.M.SetSP(sp)
+	// Entering at the entry point via a hijacked jump: after the
+	// prologue allocates the frame, argument i is read from the word at
+	// [entrySP + 4 + 4i].
+	p.Mem.WriteWord(sp+4, v.ShellStr) // arg0 = "/bin/sh"
+	p.Mem.WriteWord(sp+8, 0)
+	p.Mem.WriteWord(sp+12, 0)
+	p.Run(10_000)
+	native := false
+	for _, ev := range p.Execves {
+		if ev.PathPtr == v.ShellStr {
+			native = true
+		}
+	}
+	if !native {
+		t.Fatal("native hijacked dispatch did not reach execve")
+	}
+
+	// Under the defense, the identical architectural state at the same
+	// source address is dispatched through the PSR translation: the
+	// randomized calling convention reads the arguments from relocated
+	// slots the attacker did not populate.
+	shells := 0
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := core.DefaultConfig()
+		cfg.DBT.Seed = seed
+		sys, err := core.New(v.Bin, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := sys.VM
+		cacheAddr, err := vm.EnsureTranslated(isa.X86, gEntry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := vm.P.M
+		sp := m.SP() - 64
+		m.SetSP(sp)
+		// Same attacker knowledge: the canonical argument positions.
+		vm.P.Mem.WriteWord(sp+4, v.ShellStr)
+		vm.P.Mem.WriteWord(sp+8, 0)
+		vm.P.Mem.WriteWord(sp+12, 0)
+		m.PC = cacheAddr
+		vm.Run(10_000)
+		for _, ev := range vm.P.Execves {
+			if ev.PathPtr == v.ShellStr {
+				shells++
+			}
+		}
+	}
+	if shells > 0 {
+		t.Fatalf("hijacked dispatch spawned %d shells under PSR", shells)
+	}
+}
+
+// TestGadgetTranslationNeverPanics fuzzes the translator with every mined
+// gadget address (aligned and unintentional): translating and executing
+// attacker-chosen entry points must never take the VM down, only the
+// victim process.
+func TestGadgetTranslationNeverPanics(t *testing.T) {
+	v, err := attack.BuildVictim(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := gadget.Mine(v.Bin, isa.X86, 0)
+	cfg := core.DefaultConfig()
+	cfg.DBT.Seed = 9
+	sys, err := core.New(v.Bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	translated := 0
+	for i := range gs {
+		e := gadget.TranslatedEffect(sys.VM, &gs[i])
+		_ = e
+		translated++
+	}
+	if translated != len(gs) {
+		t.Fatalf("translated %d of %d", translated, len(gs))
+	}
+	// ARM too.
+	ga := gadget.Mine(v.Bin, isa.ARM, 0)
+	for i := range ga {
+		_ = gadget.TranslatedEffect(sys.VM, &ga[i])
+	}
+}

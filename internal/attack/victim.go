@@ -1,0 +1,277 @@
+// Package attack implements the paper's threat model (§4) and attack suite
+// (§6-7): classic ROP and return-into-libc chains delivered through a real
+// stack-overflow vulnerability, the Algorithm 1 brute-force simulation,
+// just-in-time code reuse against the live code cache, tailored
+// diversification-bypass attacks, and the Blind-ROP respawn model.
+//
+// Attacks are executable: the victim program contains an unchecked copy
+// from an attacker-controlled "network buffer" into a fixed-size stack
+// buffer, and payloads are delivered by writing that buffer before the run
+// — exactly a recv()-then-memcpy vulnerability. Success means the process
+// performed execve("/bin/sh").
+package attack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"hipstr/internal/compiler"
+	"hipstr/internal/core"
+	"hipstr/internal/dbt"
+	"hipstr/internal/fatbin"
+	"hipstr/internal/isa"
+	"hipstr/internal/proc"
+	"hipstr/internal/prog"
+)
+
+// NetBufWords is the attacker-controllable message capacity (the final
+// word always holds the terminator). The protocol bound is what limits the
+// overflow's reach — the vulnerable copy itself is unchecked.
+const NetBufWords = 1025
+
+// PayloadTerminator ends the vulnerable copy (the attack payload must not
+// contain it — the "no NUL bytes in strcpy payloads" constraint).
+const PayloadTerminator = 0x5AFE5AFE
+
+// Victim is a compiled program with a stack-overflow vulnerability.
+type Victim struct {
+	Bin *fatbin.Binary
+	// NetBuf is the data-section address of the attacker message buffer.
+	NetBuf uint32
+	// ShellStr is the address of the "/bin/sh" string.
+	ShellStr uint32
+	// Vuln is the vulnerable function's metadata.
+	Vuln *fatbin.FuncMeta
+	// BufOff is the canonical frame offset of the overflowed buffer.
+	BufOff uint32
+}
+
+// BuildVictim compiles the victim: gadget-rich workers, the libc stubs,
+// and a vuln() function that copies the network message into a 4-word
+// stack buffer without a bounds check.
+func BuildVictim(workers int) (*Victim, error) {
+	mod := buildVictimModule(workers)
+	bin, err := compiler.Compile(mod)
+	if err != nil {
+		return nil, err
+	}
+	v := &Victim{Bin: bin}
+	for i, g := range victimGlobals(mod) {
+		switch g.Name {
+		case "netbuf":
+			v.NetBuf = globalAddr(mod, i)
+		case "shellstr":
+			v.ShellStr = globalAddr(mod, i)
+		}
+	}
+	v.Vuln = bin.Func("vuln")
+	if v.Vuln == nil {
+		return nil, fmt.Errorf("attack: victim lacks vuln()")
+	}
+	for s, fixed := range v.Vuln.FixedSlot {
+		if fixed {
+			v.BufOff = v.Vuln.SlotOff(s)
+			break
+		}
+	}
+	return v, nil
+}
+
+func victimGlobals(m *prog.Module) []prog.Global { return m.Globals }
+
+func globalAddr(m *prog.Module, idx int) uint32 {
+	// Mirrors the compiler's data layout: sequential word-aligned.
+	off := uint32(0)
+	for i := 0; i < idx; i++ {
+		off = (off + m.Globals[i].Size + 3) &^ 3
+	}
+	return fatbin.DataBase + off
+}
+
+func buildVictimModule(workers int) *prog.Module {
+	mb := prog.NewModule("victim")
+	net := mb.Global("netbuf", 4*NetBufWords, nil)
+	mb.Global("shellstr", 8, append([]byte("/bin/sh"), 0))
+
+	// Gadget-rich workers (same shape as testprogs.GadgetRich).
+	juicy := []int32{0x00C3C3FF, 0x19C3FF2D, -61, 0x7FC3FF00, 0x2DC32DC3}
+	name := func(i int) string { return fmt.Sprintf("g%d", i) }
+	for i := 0; i < workers; i++ {
+		fb := mb.Func(name(i), 1)
+		x := fb.Param(0)
+		acc := fb.Const(juicy[i%len(juicy)])
+		j := fb.Const(0)
+		loop := fb.NewBlock()
+		body := fb.NewBlock()
+		exit := fb.NewBlock()
+		fb.SetBlock(0)
+		fb.Jmp(loop)
+		fb.SetBlock(loop)
+		fb.BrImm(isa.CondLT, j, int32(3+i%4), body, exit)
+		fb.SetBlock(body)
+		t := fb.Bin(prog.BinXor, acc, x)
+		fb.BinTo(acc, prog.BinAdd, t, j)
+		fb.BinImmTo(j, prog.BinAdd, j, 1)
+		fb.Jmp(loop)
+		fb.SetBlock(exit)
+		if i+1 < workers {
+			r := fb.Call(name(i+1), true, acc)
+			fb.Ret(r)
+		} else {
+			fb.Ret(acc)
+		}
+	}
+
+	// libc stubs.
+	wr := mb.Func("libc_write", 1)
+	wr.Ret(wr.Syscall(4, wr.Param(0)))
+	ex := mb.Func("libc_execve", 3)
+	ex.Ret(ex.Syscall(11, ex.Param(0), ex.Param(1), ex.Param(2)))
+
+	// The vulnerability: an unchecked sentinel-terminated copy (strcpy
+	// style) from the network buffer into a 4-word local buffer. Only two
+	// loop-carried values (src and dst pointers) keep the copy's own
+	// state in registers, like a real memcpy loop.
+	vb := mb.Func("vuln", 0)
+	var slots [4]int
+	for i := range slots {
+		slots[i] = vb.NewSlot()
+	}
+	buf := vb.SlotAddr(slots[0]) // address-taken: the buffer stays put
+	src := vb.GlobalAddr(net, 0)
+	dst := vb.Copy(buf)
+	head := vb.NewBlock()
+	body := vb.NewBlock()
+	exit := vb.NewBlock()
+	vb.SetBlock(0)
+	vb.Jmp(head)
+	vb.SetBlock(head)
+	val := vb.Load(src, 0)
+	vb.BrImm(isa.CondEQ, val, PayloadTerminator, exit, body)
+	vb.SetBlock(body)
+	v2 := vb.Load(src, 0)
+	vb.Store(dst, 0, v2)
+	vb.BinImmTo(src, prog.BinAdd, src, 4)
+	vb.BinImmTo(dst, prog.BinAdd, dst, 4)
+	vb.Jmp(head)
+	vb.SetBlock(exit)
+	vb.Ret(prog.NoVReg)
+
+	// main: warm the workers, take the "request", return.
+	fb := mb.Func("main", 0)
+	w := fb.Const(1)
+	r := fb.Call(name(0), true, w)
+	fb.Call("libc_write", false, r)
+	fb.Call("vuln", false)
+	done := fb.Const(0)
+	fb.Syscall(1, done)
+	fb.Ret(done)
+	return mb.MustBuild()
+}
+
+// Outcome classifies an attack attempt.
+type Outcome int
+
+const (
+	// OutcomeShell: execve("/bin/sh") executed — the attack succeeded.
+	OutcomeShell Outcome = iota
+	// OutcomeCrash: the process faulted (bad address, divide, decode).
+	OutcomeCrash
+	// OutcomeKilled: the defense's software fault isolation terminated it.
+	OutcomeKilled
+	// OutcomeNoEffect: the program ran to a clean exit; the payload did
+	// nothing attacker-visible.
+	OutcomeNoEffect
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeShell:
+		return "shell"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeKilled:
+		return "killed"
+	default:
+		return "no-effect"
+	}
+}
+
+const attackMaxSteps = 10_000_000
+
+// inject writes the payload (followed by the terminator) into the
+// victim's network buffer.
+func inject(memw interface {
+	WriteWord(uint32, uint32) error
+}, netbuf uint32, payload []uint32) error {
+	if len(payload) > NetBufWords-1 {
+		return fmt.Errorf("attack: payload of %d words exceeds the %d-word protocol limit",
+			len(payload), NetBufWords-1)
+	}
+	for i, w := range payload {
+		if w == PayloadTerminator {
+			return fmt.Errorf("attack: payload word %d is the terminator", i)
+		}
+		if err := memw.WriteWord(netbuf+uint32(4*i), w); err != nil {
+			return err
+		}
+	}
+	return memw.WriteWord(netbuf+uint32(4*len(payload)), PayloadTerminator)
+}
+
+// shellSpawned checks whether any recorded execve used the shell string.
+func (v *Victim) shellSpawned(p *proc.Process) bool {
+	for _, ev := range p.Execves {
+		var got [8]byte
+		if err := p.Mem.Read(ev.PathPtr, got[:]); err == nil &&
+			bytes.Equal(got[:7], []byte("/bin/sh")) {
+			return true
+		}
+	}
+	return false
+}
+
+// AttackNative delivers payload against an unprotected native process.
+func (v *Victim) AttackNative(payload []uint32) (Outcome, error) {
+	p, err := proc.New(v.Bin, isa.X86)
+	if err != nil {
+		return OutcomeNoEffect, err
+	}
+	if err := inject(p.Mem, v.NetBuf, payload); err != nil {
+		return OutcomeNoEffect, err
+	}
+	_, runErr := p.Run(attackMaxSteps)
+	if v.shellSpawned(p) {
+		return OutcomeShell, nil
+	}
+	if runErr != nil {
+		return OutcomeCrash, nil
+	}
+	return OutcomeNoEffect, nil
+}
+
+// AttackProtected delivers payload against a PSR- or HIPStR-protected
+// process and returns the outcome plus the system for inspection.
+func (v *Victim) AttackProtected(cfg core.Config, payload []uint32) (Outcome, *core.System, error) {
+	s, err := core.New(v.Bin, cfg)
+	if err != nil {
+		return OutcomeNoEffect, nil, err
+	}
+	if err := inject(s.VM.P.Mem, v.NetBuf, payload); err != nil {
+		return OutcomeNoEffect, nil, err
+	}
+	_, runErr := s.Run(attackMaxSteps)
+	if v.shellSpawned(s.VM.P) {
+		return OutcomeShell, s, nil
+	}
+	if runErr != nil {
+		if isKill(runErr) {
+			return OutcomeKilled, s, nil
+		}
+		return OutcomeCrash, s, nil
+	}
+	return OutcomeNoEffect, s, nil
+}
+
+func isKill(err error) bool { return errors.Is(err, dbt.ErrSecurityKill) }

@@ -1,0 +1,69 @@
+package compiler_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hipstr/internal/compiler"
+	"hipstr/internal/isa"
+	"hipstr/internal/proc"
+	"hipstr/internal/testprogs"
+)
+
+// TestDiversifiedVariantIsEquivalent: the Isomeron-style variant (block
+// layout shuffled, nops inserted, binding registers permuted) must behave
+// exactly like the canonical compilation while laying out differently.
+func TestDiversifiedVariantIsEquivalent(t *testing.T) {
+	for name, tc := range testprogs.All() {
+		mod := tc.Mod
+		canon, err := compiler.Compile(mod)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		variant, err := compiler.CompileDiversified(mod, 12345)
+		if err != nil {
+			t.Fatalf("%s variant: %v", name, err)
+		}
+		if reflect.DeepEqual(canon.Text[isa.X86], variant.Text[isa.X86]) {
+			t.Errorf("%s: variant text identical to canonical", name)
+		}
+		for _, k := range isa.Kinds {
+			pc, err := proc.New(canon, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pc.RunToExit(20_000_000); err != nil {
+				t.Fatalf("%s canon %s: %v", name, k, err)
+			}
+			pv, err := proc.New(variant, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pv.RunToExit(20_000_000); err != nil {
+				t.Fatalf("%s variant %s: %v", name, k, err)
+			}
+			if pc.ExitCode != pv.ExitCode {
+				t.Fatalf("%s %s: variant exit %d, canon %d", name, k, pv.ExitCode, pc.ExitCode)
+			}
+			if !reflect.DeepEqual(pc.Trace, pv.Trace) {
+				t.Fatalf("%s %s: traces diverge", name, k)
+			}
+		}
+	}
+}
+
+// TestVariantsDifferBySeed: two seeds give different layouts.
+func TestVariantsDifferBySeed(t *testing.T) {
+	mod := testprogs.NestedLoops(4, 4)
+	a, err := compiler.CompileDiversified(mod, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compiler.CompileDiversified(mod, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Text[isa.X86], b.Text[isa.X86]) {
+		t.Fatal("different seeds produced identical variants")
+	}
+}

@@ -1,0 +1,252 @@
+// Package compiler implements the multi-ISA compiler: it lowers the
+// architecture-neutral IR to both the x86-like and ARM-like ISAs, lays out
+// a stack frame organization common to both, and emits the extended symbol
+// table (liveness, value homes, relocatable offsets) that the PSR virtual
+// machine and the cross-ISA migration engine rely on.
+package compiler
+
+import (
+	"math/rand"
+	"sort"
+
+	"hipstr/internal/isa"
+	"hipstr/internal/prog"
+)
+
+// loopInfo describes one natural loop of a function's CFG.
+type loopInfo struct {
+	id     int
+	header int
+	blocks map[int]bool
+	inner  bool // contains no other loop
+	// bind maps vregs to their loop-scoped register per ISA. Within the
+	// loop these registers are the values' homes; entry and exit edges
+	// load/store the canonical frame homes.
+	bind [2]map[prog.VReg]isa.Reg
+}
+
+// dominators computes the immediate dominance relation as full dominator
+// sets (iterative bitvector algorithm; function CFGs here are small).
+func dominators(f *prog.Func) []map[int]bool {
+	n := len(f.Blocks)
+	preds := prog.Preds(f)
+	dom := make([]map[int]bool, n)
+	all := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		all[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			dom[i] = map[int]bool{0: true}
+		} else {
+			c := make(map[int]bool, n)
+			for k := range all {
+				c[k] = true
+			}
+			dom[i] = c
+		}
+	}
+	order := prog.ReversePostorder(f)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			var inter map[int]bool
+			for _, p := range preds[b] {
+				if inter == nil {
+					inter = make(map[int]bool, len(dom[p]))
+					for k := range dom[p] {
+						inter[k] = true
+					}
+					continue
+				}
+				for k := range inter {
+					if !dom[p][k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[int]bool)
+			}
+			inter[b] = true
+			if len(inter) != len(dom[b]) {
+				dom[b] = inter
+				changed = true
+				continue
+			}
+			for k := range inter {
+				if !dom[b][k] {
+					dom[b] = inter
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// findLoops returns the natural loops of f, marking innermost loops.
+func findLoops(f *prog.Func) []*loopInfo {
+	dom := dominators(f)
+	preds := prog.Preds(f)
+	byHeader := make(map[int]*loopInfo)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if !dom[b.ID][s] {
+				continue // not a back edge
+			}
+			// Back edge b -> s: natural loop = s plus all blocks reaching b
+			// without passing through s.
+			l, ok := byHeader[s]
+			if !ok {
+				l = &loopInfo{header: s, blocks: map[int]bool{s: true}}
+				byHeader[s] = l
+			}
+			var stack []int
+			if !l.blocks[b.ID] {
+				l.blocks[b.ID] = true
+				stack = append(stack, b.ID)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range preds[x] {
+					if !l.blocks[p] {
+						l.blocks[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	var loops []*loopInfo
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].header < loops[j].header })
+	for i, l := range loops {
+		l.id = i
+		l.inner = true
+	}
+	for _, outer := range loops {
+		for _, in := range loops {
+			if in == outer {
+				continue
+			}
+			if outer.blocks[in.header] && len(in.blocks) < len(outer.blocks) {
+				outer.inner = false
+			}
+		}
+	}
+	return loops
+}
+
+// bindableRegs lists, per ISA, the callee-saved registers available for
+// loop-scoped value binding, in assignment order. The x86 set is small
+// (register-poor ISA); ARM offers many more — this asymmetry drives both
+// the performance results and the migration-safety asymmetry of Figure 6.
+func bindableRegs(k isa.Kind) []isa.Reg {
+	if k == isa.X86 {
+		return []isa.Reg{isa.EBX, isa.ESI, isa.EDI}
+	}
+	return []isa.Reg{isa.R4, isa.R5, isa.R6, isa.R7, isa.R8, isa.R9}
+}
+
+// chooseBindings selects, for each innermost loop, the hottest
+// loop-carried vregs (live into at least one loop block) and assigns them
+// loop-scoped registers per ISA. Block-local temporaries gain nothing from
+// a loop-scoped home, so only values that cross block boundaries qualify.
+// A non-zero layoutSeed permutes the register assignment order (diversified
+// variants); canonical compilations keep the fixed order, which gives the
+// positional cross-ISA correspondence migration relies on.
+func chooseBindings(f *prog.Func, loops []*loopInfo, live *prog.Liveness, layoutSeed int64) {
+	regsFor := func(k isa.Kind) []isa.Reg {
+		regs := append([]isa.Reg(nil), bindableRegs(k)...)
+		if layoutSeed != 0 {
+			rng := rand.New(rand.NewSource(layoutSeed ^ int64(k)<<8 ^ hashName(f.Name)))
+			rng.Shuffle(len(regs), func(i, j int) { regs[i], regs[j] = regs[j], regs[i] })
+		}
+		return regs
+	}
+	chooseBindingsWith(f, loops, live, regsFor)
+}
+
+func hashName(s string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ int64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func chooseBindingsWith(f *prog.Func, loops []*loopInfo, live *prog.Liveness, regsFor func(isa.Kind) []isa.Reg) {
+	for _, l := range loops {
+		l.bind[isa.X86] = map[prog.VReg]isa.Reg{}
+		l.bind[isa.ARM] = map[prog.VReg]isa.Reg{}
+		if !l.inner {
+			continue
+		}
+		crossing := map[prog.VReg]bool{}
+		for bid := range l.blocks {
+			for _, v := range live.In[bid].Members() {
+				crossing[v] = true
+			}
+		}
+		counts := map[prog.VReg]int{}
+		for bid := range l.blocks {
+			for i := range f.Blocks[bid].Ins {
+				in := &f.Blocks[bid].Ins[i]
+				for _, u := range in.Uses() {
+					if crossing[u] {
+						counts[u]++
+					}
+				}
+				if d := in.Def(); d != prog.NoVReg && crossing[d] {
+					counts[d]++
+				}
+			}
+		}
+		type vc struct {
+			v prog.VReg
+			c int
+		}
+		var hot []vc
+		for v, c := range counts {
+			if c >= 2 {
+				hot = append(hot, vc{v, c})
+			}
+		}
+		sort.Slice(hot, func(i, j int) bool {
+			if hot[i].c != hot[j].c {
+				return hot[i].c > hot[j].c
+			}
+			return hot[i].v < hot[j].v
+		})
+		for _, k := range isa.Kinds {
+			regs := regsFor(k)
+			for i, h := range hot {
+				if i >= len(regs) {
+					break
+				}
+				l.bind[k][h.v] = regs[i]
+			}
+		}
+	}
+}
+
+// innermostLoop maps each block to its innermost enclosing loop (or nil).
+func innermostLoop(f *prog.Func, loops []*loopInfo) []*loopInfo {
+	out := make([]*loopInfo, len(f.Blocks))
+	for _, l := range loops {
+		for b := range l.blocks {
+			if out[b] == nil || len(l.blocks) < len(out[b].blocks) {
+				out[b] = l
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package core assembles the full HIPStR defense (paper §3.5): a pair of
+// PSR virtual machines, one per ISA of the heterogeneous CMP, coupled with
+// the PSR-aware cross-ISA migration engine and the two migration policies —
+// performance-driven phase migration and probabilistic security migration
+// on code-cache misses.
+package core
+
+import (
+	"fmt"
+
+	"hipstr/internal/dbt"
+	"hipstr/internal/fatbin"
+	"hipstr/internal/isa"
+	"hipstr/internal/migrate"
+)
+
+// Mode selects which layers of the defense are active.
+type Mode int
+
+const (
+	// ModePSR runs Program State Relocation on a single ISA (no
+	// migration) — susceptible to JIT-ROP by itself.
+	ModePSR Mode = iota
+	// ModeHIPStR runs the combined defense: PSR on both ISAs plus
+	// probabilistic heterogeneous-ISA migration on security events.
+	ModeHIPStR
+)
+
+func (m Mode) String() string {
+	if m == ModeHIPStR {
+		return "HIPStR"
+	}
+	return "PSR"
+}
+
+// Config configures a protected process.
+type Config struct {
+	Mode      Mode
+	StartISA  isa.Kind
+	DBT       dbt.Config
+	Migration migrate.Policy
+}
+
+// DefaultConfig returns the paper's main HIPStR configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mode:      ModeHIPStR,
+		StartISA:  isa.X86,
+		DBT:       dbt.DefaultConfig(),
+		Migration: migrate.DefaultPolicy(),
+	}
+}
+
+// System is a process protected by HIPStR (or plain PSR).
+type System struct {
+	Bin    *fatbin.Binary
+	VM     *dbt.VM
+	Engine *migrate.Engine
+	Cfg    Config
+
+	respawns int
+}
+
+// New boots bin under the configured defense.
+func New(bin *fatbin.Binary, cfg Config) (*System, error) {
+	if cfg.Mode == ModePSR {
+		cfg.DBT.MigrateProb = 0
+	}
+	vm, err := dbt.New(bin, cfg.StartISA, cfg.DBT)
+	if err != nil {
+		return nil, fmt.Errorf("core: boot: %w", err)
+	}
+	s := &System{Bin: bin, VM: vm, Cfg: cfg}
+	if cfg.Mode == ModeHIPStR {
+		s.Engine = &migrate.Engine{Policy: cfg.Migration}
+		vm.Migrator = s.Engine
+	}
+	return s, nil
+}
+
+// Run executes up to maxSteps instructions.
+func (s *System) Run(maxSteps uint64) (uint64, error) { return s.VM.Run(maxSteps) }
+
+// Exited reports process termination.
+func (s *System) Exited() bool { return s.VM.P.Exited }
+
+// ExitCode returns the exit status.
+func (s *System) ExitCode() uint32 { return s.VM.P.ExitCode }
+
+// Active returns the ISA currently executing.
+func (s *System) Active() isa.Kind { return s.VM.Active() }
+
+// RequestPhaseMigration schedules a performance-policy migration at the
+// next migration-safe boundary (paper §5.2: "whenever an application phase
+// change ... demands migration to another core").
+func (s *System) RequestPhaseMigration() {
+	if s.Engine != nil {
+		s.VM.PendingMigration = true
+	}
+}
+
+// Respawn models the crash/reboot scenario of §5.3: the worker re-spawns
+// with freshly randomized relocation maps and empty code caches on both
+// ISAs. Memory mutations from the previous life persist (matching a
+// re-spawned worker thread sharing its parent's image is *not* modeled:
+// the paper's PSR re-randomizes, which is the property captured here).
+func (s *System) Respawn() error {
+	s.respawns++
+	return s.VM.Respawn(s.Cfg.StartISA, s.Cfg.DBT.Seed+int64(s.respawns)*0x9E3779B9)
+}
+
+// Respawns reports how many times the process was re-spawned.
+func (s *System) Respawns() int { return s.respawns }
+
+// SecurityEvents reports the number of code-cache-miss security events.
+func (s *System) SecurityEvents() uint64 { return s.VM.Stats.SecurityEvents }
+
+// Migrations reports how many migrations occurred.
+func (s *System) Migrations() uint64 { return s.VM.Stats.Migrations }

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"testing"
+
+	"hipstr/internal/compiler"
+	"hipstr/internal/core"
+	"hipstr/internal/isa"
+	"hipstr/internal/testprogs"
+)
+
+const maxSteps = 20_000_000
+
+func TestHIPStRRunsPrograms(t *testing.T) {
+	for name, tc := range testprogs.All() {
+		t.Run(name, func(t *testing.T) {
+			bin, err := compiler.Compile(tc.Mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := core.New(bin, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(maxSteps); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Exited() || s.ExitCode() != tc.Exit {
+				t.Fatalf("exit %d (exited=%v), want %d", s.ExitCode(), s.Exited(), tc.Exit)
+			}
+		})
+	}
+}
+
+func TestPhaseMigrationSwitchesISA(t *testing.T) {
+	bin, err := compiler.Compile(testprogs.Fib(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	s, err := core.New(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := s.Active()
+	// Run a little, request migration, keep running.
+	if _, err := s.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	s.RequestPhaseMigration()
+	if _, err := s.Run(maxSteps); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exited() || s.ExitCode() != 610 {
+		t.Fatalf("fib(15) exit %d", s.ExitCode())
+	}
+	if s.Migrations() == 0 {
+		t.Fatal("phase migration never happened")
+	}
+	if s.Active() == start && s.Migrations()%2 == 1 {
+		t.Fatal("odd number of migrations but ISA unchanged")
+	}
+}
+
+func TestPSRModeNeverMigrates(t *testing.T) {
+	bin, err := compiler.Compile(testprogs.GlobalTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModePSR
+	s, err := core.New(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(maxSteps); err != nil {
+		t.Fatal(err)
+	}
+	if s.Migrations() != 0 {
+		t.Fatalf("PSR mode migrated %d times", s.Migrations())
+	}
+	if s.Active() != isa.X86 {
+		t.Fatal("ISA changed in PSR mode")
+	}
+}
+
+func TestRespawnReRandomizesAndRuns(t *testing.T) {
+	bin, err := compiler.Compile(testprogs.SumLoop(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New(bin, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Respawn(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(maxSteps); err != nil {
+			t.Fatal(err)
+		}
+		if s.ExitCode() != 45 {
+			t.Fatalf("respawn %d: exit %d", i, s.ExitCode())
+		}
+	}
+	if s.Respawns() != 3 {
+		t.Fatalf("respawn count %d", s.Respawns())
+	}
+}

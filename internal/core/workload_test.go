@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hipstr/internal/core"
+	"hipstr/internal/isa"
+	"hipstr/internal/proc"
+	"hipstr/internal/workload"
+)
+
+// TestWorkloadsUnderFullDefense runs the two smallest benchmarks to
+// completion under HIPStR with migration probability 1 and checks exact
+// behavioral equivalence with native execution — the strongest end-to-end
+// guarantee in the suite (full programs, indirect calls, syscalls, and
+// live migrations).
+func TestWorkloadsUnderFullDefense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs")
+	}
+	for _, name := range []string{"libquantum", "lbm"} {
+		p, _ := workload.ProfileByName(name)
+		p.WorkIters = 3
+		bin, err := workload.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		native, err := proc.New(bin, isa.X86)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := native.RunToExit(80_000_000); err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 2; seed++ {
+			cfg := core.DefaultConfig()
+			cfg.DBT.Seed = seed
+			cfg.DBT.MigrateProb = 1.0
+			sys, err := core.New(bin, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run(200_000_000); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if !sys.Exited() || sys.ExitCode() != native.ExitCode {
+				t.Fatalf("%s seed %d: exit %d (exited=%v), native %d",
+					name, seed, sys.ExitCode(), sys.Exited(), native.ExitCode)
+			}
+			if !reflect.DeepEqual(sys.VM.P.Trace, native.Trace) {
+				t.Fatalf("%s seed %d: progress trace diverged", name, seed)
+			}
+			t.Logf("%s seed %d: %d migrations, %d security events, final core %s",
+				name, seed, sys.Migrations(), sys.SecurityEvents(), sys.Active())
+		}
+	}
+}
+
+// TestWorkloadTinyCacheUnderDefense stresses cache flushes + migrations
+// together on a real workload.
+func TestWorkloadTinyCacheUnderDefense(t *testing.T) {
+	p, _ := workload.ProfileByName("libquantum")
+	p.WorkIters = 2
+	bin, err := workload.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := proc.New(bin, isa.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := native.RunToExit(80_000_000); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.DBT.CodeCacheSize = 8 * 1024
+	cfg.DBT.MigrateProb = 1.0
+	sys, err := core.New(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(300_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Exited() || sys.ExitCode() != native.ExitCode {
+		t.Fatalf("exit %d (exited=%v), native %d", sys.ExitCode(), sys.Exited(), native.ExitCode)
+	}
+	if sys.VM.Stats.Flushes == 0 {
+		t.Fatal("expected flushes with a 24 KiB cache")
+	}
+}

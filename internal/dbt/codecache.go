@@ -1,0 +1,213 @@
+// Package dbt implements the PSR virtual machine: a classic just-in-time
+// dynamic binary translator (paper §3.4, Figure 2) that translates one
+// basic block at a time, applying the function's relocation map to every
+// instruction, and polices all indirect control transfers. Together with
+// the hardware-modeled Return Address Table it forms the runtime half of
+// Program State Relocation.
+package dbt
+
+import (
+	"fmt"
+
+	"hipstr/internal/fatbin"
+	"hipstr/internal/isa"
+	"hipstr/internal/mem"
+)
+
+// CodeCache is the translated-code region of one ISA. Translation units
+// are bump-allocated; when the cache fills, it is flushed wholesale (the
+// classic JIT fallback), which evicts every translation and the RAT
+// entries pointing into it.
+type CodeCache struct {
+	ISA  isa.Kind
+	Base uint32
+	Size uint32
+
+	cur uint32
+	// srcToCache maps source block start addresses to their translation.
+	srcToCache map[uint32]uint32
+	// cacheToSrc is the reverse map, for diagnostics and JIT-ROP analysis.
+	cacheToSrc map[uint32]uint32
+	// indirectTargets records source addresses that became known indirect
+	// jump targets or call sites — the attacker's only migration-free
+	// entry points (paper §3.5).
+	indirectTargets map[uint32]bool
+	// covered records the source address ranges whose translations are
+	// live in the cache (superblock formation inlines code into units, so
+	// coverage is broader than the unit-entry map).
+	covered [][2]uint32
+
+	Flushes      int
+	Translations int
+}
+
+// NewCodeCache returns an empty code cache for ISA k.
+func NewCodeCache(k isa.Kind, size uint32) *CodeCache {
+	return &CodeCache{
+		ISA:             k,
+		Base:            fatbin.CacheBase(k),
+		Size:            size,
+		srcToCache:      make(map[uint32]uint32),
+		cacheToSrc:      make(map[uint32]uint32),
+		indirectTargets: make(map[uint32]bool),
+	}
+}
+
+// Lookup returns the cache address of the translation of src.
+func (c *CodeCache) Lookup(src uint32) (uint32, bool) {
+	a, ok := c.srcToCache[src]
+	return a, ok
+}
+
+// SourceOf returns the source address a translation unit was made from.
+func (c *CodeCache) SourceOf(cacheAddr uint32) (uint32, bool) {
+	s, ok := c.cacheToSrc[cacheAddr]
+	return s, ok
+}
+
+// Contains reports whether addr falls inside the cache region.
+func (c *CodeCache) Contains(addr uint32) bool {
+	return addr >= c.Base && addr-c.Base < c.Size
+}
+
+// Used reports the bytes currently allocated.
+func (c *CodeCache) Used() uint32 { return c.cur }
+
+// NumUnits reports the number of live translation units.
+func (c *CodeCache) NumUnits() int { return len(c.srcToCache) }
+
+// NextAddr returns the address the next Reserve with the same alignment
+// will yield, letting the translator assemble position-dependent code
+// before committing.
+func (c *CodeCache) NextAddr(align uint32) uint32 {
+	return c.Base + ((c.cur + align - 1) &^ (align - 1))
+}
+
+// Reserve allocates n bytes, reporting false when the cache must be
+// flushed first. align must be a power of two.
+func (c *CodeCache) Reserve(n, align uint32) (uint32, bool) {
+	start := (c.cur + align - 1) &^ (align - 1)
+	if start+n > c.Size {
+		return 0, false
+	}
+	c.cur = start + n
+	return c.Base + start, true
+}
+
+// Commit records a completed translation unit and writes its bytes into
+// memory (the cache region is mapped read+execute; the VM writes with
+// loader privilege, modeling W^X with a privileged JIT writer).
+func (c *CodeCache) Commit(m *mem.Memory, src, cacheAddr uint32, code []byte) {
+	m.WriteForce(cacheAddr, code)
+	c.srcToCache[src] = cacheAddr
+	c.cacheToSrc[cacheAddr] = src
+	c.Translations++
+}
+
+// Patch rewrites bytes inside a committed unit (branch chaining).
+func (c *CodeCache) Patch(m *mem.Memory, addr uint32, b []byte) {
+	if !c.Contains(addr) {
+		panic(fmt.Sprintf("dbt: patch outside cache: %#x", addr))
+	}
+	m.WriteForce(addr, b)
+}
+
+// AddCovered records source ranges whose translation now lives in the
+// cache.
+func (c *CodeCache) AddCovered(ranges [][2]uint32) {
+	c.covered = append(c.covered, ranges...)
+}
+
+// Covered reports whether some live translation includes source address
+// addr — the JIT-ROP attacker's "discoverable through a cache leak" test.
+func (c *CodeCache) Covered(addr uint32) bool {
+	for _, r := range c.covered {
+		if addr >= r[0] && addr < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkIndirectTarget records src as a legitimate indirect target or call
+// site known to the VM's internal structures.
+func (c *CodeCache) MarkIndirectTarget(src uint32) { c.indirectTargets[src] = true }
+
+// IsIndirectTarget reports whether src was recorded by MarkIndirectTarget.
+func (c *CodeCache) IsIndirectTarget(src uint32) bool { return c.indirectTargets[src] }
+
+// IndirectTargetCount returns the number of recorded indirect targets.
+func (c *CodeCache) IndirectTargetCount() int { return len(c.indirectTargets) }
+
+// TranslatedSources returns every source address with a live translation.
+func (c *CodeCache) TranslatedSources() []uint32 {
+	out := make([]uint32, 0, len(c.srcToCache))
+	for s := range c.srcToCache {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Flush evicts everything.
+func (c *CodeCache) Flush() {
+	c.cur = 0
+	c.srcToCache = make(map[uint32]uint32)
+	c.cacheToSrc = make(map[uint32]uint32)
+	c.indirectTargets = make(map[uint32]bool)
+	c.covered = nil
+	c.Flushes++
+}
+
+// RAT is the hardware-maintained Return Address Table (paper §5.1): a
+// bounded table mapping source return addresses to their code cache
+// translations. The call macro-op inserts entries; the return macro-op
+// performs the lookup with a 1-cycle penalty. A miss traps to the VM.
+type RAT struct {
+	size    int
+	entries map[uint32]uint32
+	fifo    []uint32
+
+	Lookups   uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// NewRAT returns a RAT holding size entries.
+func NewRAT(size int) *RAT {
+	return &RAT{size: size, entries: make(map[uint32]uint32, size)}
+}
+
+// Size returns the RAT capacity.
+func (r *RAT) Size() int { return r.size }
+
+// Insert records srcRet -> cacheRet, evicting the oldest entry when full.
+func (r *RAT) Insert(srcRet, cacheRet uint32) {
+	if _, ok := r.entries[srcRet]; !ok {
+		for len(r.entries) >= r.size && len(r.fifo) > 0 {
+			old := r.fifo[0]
+			r.fifo = r.fifo[1:]
+			if _, live := r.entries[old]; live {
+				delete(r.entries, old)
+				r.Evictions++
+			}
+		}
+		r.fifo = append(r.fifo, srcRet)
+	}
+	r.entries[srcRet] = cacheRet
+}
+
+// Lookup translates a source return address, counting the miss on failure.
+func (r *RAT) Lookup(srcRet uint32) (uint32, bool) {
+	r.Lookups++
+	a, ok := r.entries[srcRet]
+	if !ok {
+		r.Misses++
+	}
+	return a, ok
+}
+
+// Flush clears the table (code cache flush invalidates its targets).
+func (r *RAT) Flush() {
+	r.entries = make(map[uint32]uint32, r.size)
+	r.fifo = nil
+}

@@ -1,0 +1,118 @@
+package dbt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hipstr/internal/isa"
+)
+
+func TestRATInsertLookup(t *testing.T) {
+	r := NewRAT(4)
+	r.Insert(0x100, 0xC100)
+	r.Insert(0x200, 0xC200)
+	if a, ok := r.Lookup(0x100); !ok || a != 0xC100 {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup(0x300); ok {
+		t.Fatal("phantom entry")
+	}
+	if r.Lookups != 2 || r.Misses != 1 {
+		t.Fatalf("counters %d/%d", r.Lookups, r.Misses)
+	}
+}
+
+func TestRATCapacityEviction(t *testing.T) {
+	r := NewRAT(4)
+	for i := uint32(0); i < 10; i++ {
+		r.Insert(0x100+i, 0xC000+i)
+	}
+	live := 0
+	for i := uint32(0); i < 10; i++ {
+		if _, ok := r.Lookup(0x100 + i); ok {
+			live++
+		}
+	}
+	if live > 4 {
+		t.Fatalf("%d live entries exceed capacity 4", live)
+	}
+	// FIFO: the most recent insert survives.
+	if _, ok := r.Lookup(0x109); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if r.Evictions == 0 {
+		t.Fatal("evictions not counted")
+	}
+}
+
+func TestRATUpdateInPlace(t *testing.T) {
+	r := NewRAT(2)
+	r.Insert(0x100, 0xC1)
+	r.Insert(0x100, 0xC2) // remap, no new slot
+	r.Insert(0x200, 0xC3)
+	if a, _ := r.Lookup(0x100); a != 0xC2 {
+		t.Fatalf("update lost: %#x", a)
+	}
+	if a, _ := r.Lookup(0x200); a != 0xC3 {
+		t.Fatalf("second entry lost: %#x", a)
+	}
+}
+
+// Property: after any insertion sequence, the live-entry count never
+// exceeds capacity, and a hit always returns the latest mapping.
+func TestRATPropertyQuick(t *testing.T) {
+	f := func(keys []uint16, size uint8) bool {
+		cap := int(size%16) + 1
+		r := NewRAT(cap)
+		latest := map[uint32]uint32{}
+		for i, k := range keys {
+			src := uint32(k)
+			dst := uint32(i)
+			r.Insert(src, dst)
+			latest[src] = dst
+		}
+		live := 0
+		for src, want := range latest {
+			if got, ok := r.entries[src]; ok {
+				live++
+				if got != want {
+					return false
+				}
+			}
+		}
+		return live <= cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeCacheReserveAlignment(t *testing.T) {
+	c := NewCodeCache(isa.X86, 4096)
+	a1, ok := c.Reserve(10, 16)
+	if !ok || a1%16 != 0 {
+		t.Fatalf("reserve 1: %#x", a1)
+	}
+	a2, ok := c.Reserve(20, 64)
+	if !ok || a2%64 != 0 || a2 < a1+10 {
+		t.Fatalf("reserve 2: %#x", a2)
+	}
+	if _, ok := c.Reserve(5000, 16); ok {
+		t.Fatal("oversized reserve succeeded")
+	}
+}
+
+// Property: NextAddr always predicts the next Reserve result for the same
+// alignment.
+func TestCodeCacheNextAddrQuick(t *testing.T) {
+	c := NewCodeCache(isa.X86, 1<<20)
+	f := func(n uint16, alignSel uint8) bool {
+		align := uint32(16) << (alignSel % 3) // 16, 32, 64
+		want := c.NextAddr(align)
+		got, ok := c.Reserve(uint32(n%2048)+1, align)
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,687 @@
+package dbt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hipstr/internal/fatbin"
+	"hipstr/internal/isa"
+	"hipstr/internal/machine"
+	"hipstr/internal/mem"
+	"hipstr/internal/proc"
+	"hipstr/internal/psr"
+)
+
+// ErrSecurityKill reports a software-fault-isolation termination: an
+// indirect transfer into the code cache, a forged trap vector, or
+// untranslatable code.
+var ErrSecurityKill = errors.New("dbt: process killed by security policy")
+
+// OptLevel selects the PSR performance optimizations of Table 3.
+type OptLevel int
+
+const (
+	O0 OptLevel = iota // no optimization
+	O1                 // machine block placement, branch inlining/superblocks
+	O2                 // + global register cache
+	O3                 // + PSR with a register bias
+)
+
+// Config configures a PSR virtual machine pair.
+type Config struct {
+	CodeCacheSize uint32 // bytes per ISA (default 2 MiB)
+	RATSize       int    // return address table entries (default 512)
+	Opt           OptLevel
+	RandPages     int // frame randomization space in pages (default 2)
+	// DualTranslate translates each compulsory miss for both ISAs
+	// (paper §3.5), reducing later cross-ISA misses.
+	DualTranslate bool
+	// MigrateProb is the probability of migrating to the other ISA when a
+	// security event (indirect control transfer missing the code cache)
+	// fires. Migration also requires a Migrator.
+	MigrateProb float64
+	Seed        int64
+}
+
+// DefaultConfig returns the paper's main configuration.
+func DefaultConfig() Config {
+	return Config{
+		CodeCacheSize: 2 << 20,
+		RATSize:       512,
+		Opt:           O3,
+		RandPages:     2,
+		DualTranslate: true,
+		MigrateProb:   1.0,
+	}
+}
+
+func (c Config) psrConfig() psr.Config {
+	pc := psr.Config{RandPages: c.RandPages}
+	if c.Opt >= O1 {
+		pc.PruneBoundaryMarshal = true
+	}
+	if c.Opt >= O2 {
+		pc.GlobalRegCache = 3
+	}
+	if c.Opt >= O3 {
+		pc.RegisterBias = true
+	}
+	return pc
+}
+
+// Stats counts VM events.
+type Stats struct {
+	Translations       [2]uint64
+	IndirectDispatch   uint64
+	CodeCacheMisses    uint64 // indirect transfers that missed (security events)
+	CompulsoryMisses   uint64
+	ReturnMisses       uint64 // RAT misses leading to retranslation
+	SecurityEvents     uint64
+	Migrations         uint64
+	SecurityMigrations uint64
+	ChainPatches       uint64
+	Kills              uint64
+	Flushes            uint64
+	SyscallsForwarded  uint64
+}
+
+// Migrator transforms the running process's state to the other ISA and
+// returns the code-cache address to resume at. It is installed by the
+// HIPStR layer (package core); a nil Migrator disables migration.
+type Migrator interface {
+	// Migrate moves execution to the other ISA, resuming at the source
+	// address resumeSrc (expressed in the *current* ISA's text). boundary
+	// reports whether register state is in the call-boundary (physical)
+	// convention (return events) rather than relocated form (indirect
+	// jumps). It returns false when the point is not migration-safe.
+	Migrate(vm *VM, resumeSrc uint32, boundary bool) bool
+	// MigrateEntry migrates at a callee-entry boundary (indirect call
+	// dispatch): the return address has been saved per the current ISA's
+	// convention but the callee frame does not exist yet. calleeEntry is
+	// the callee's entry address in the current ISA's text.
+	MigrateEntry(vm *VM, calleeEntry uint32) bool
+}
+
+// VM is a pair of PSR virtual machines (one per ISA) sharing one process.
+type VM struct {
+	Bin *fatbin.Binary
+	P   *proc.Process
+	Cfg Config
+
+	Rand      *psr.Randomizer
+	policyRng *rand.Rand
+
+	caches [2]*CodeCache
+	rats   [2]*RAT
+	maps   map[int][2]*psr.Map
+	traps  [2]map[uint32]trapMeta
+	calls  [2]map[uint32]callMeta
+	gen    [2]int
+
+	Stats    Stats
+	Migrator Migrator
+
+	// PendingMigration requests a performance-policy migration (phase
+	// change, §5.2) at the next migration-safe boundary (the next
+	// return). The flag clears once a migration succeeds.
+	PendingMigration bool
+
+	// LastEventTarget records the raw target of the most recent security
+	// event, before validation — the attack analyses use it to observe
+	// where a hijacked transfer tried to go.
+	LastEventTarget uint32
+
+	progSyscall machine.SyscallHandler
+}
+
+// New boots bin under a fresh PSR virtual machine pair starting on ISA k.
+func New(bin *fatbin.Binary, k isa.Kind, cfg Config) (*VM, error) {
+	if cfg.CodeCacheSize == 0 {
+		cfg.CodeCacheSize = 2 << 20
+	}
+	if cfg.RATSize == 0 {
+		cfg.RATSize = 512
+	}
+	if cfg.RandPages == 0 {
+		cfg.RandPages = 2
+	}
+	p, err := proc.New(bin, k)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{
+		Bin:       bin,
+		P:         p,
+		Cfg:       cfg,
+		Rand:      psr.NewRandomizer(cfg.Seed, cfg.psrConfig()),
+		policyRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		maps:      make(map[int][2]*psr.Map),
+	}
+	for _, kk := range isa.Kinds {
+		vm.caches[kk] = NewCodeCache(kk, cfg.CodeCacheSize)
+		vm.rats[kk] = NewRAT(cfg.RATSize)
+		vm.traps[kk] = make(map[uint32]trapMeta)
+		vm.calls[kk] = make(map[uint32]callMeta)
+		p.Mem.Map("cache."+kk.String(), fatbin.CacheBase(kk), cfg.CodeCacheSize, mem.PermRX)
+	}
+	p.SetControlHook(vm.onControl)
+	vm.progSyscall = p.M.Syscall
+	p.M.Syscall = vm.onSyscall
+	if err := vm.Start(k); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+// Start (re)enters the program at its entry point on ISA k, translating
+// the entry block.
+func (vm *VM) Start(k isa.Kind) error {
+	vm.P.Reset(k)
+	entry := vm.Bin.Func(vm.Bin.EntryFunc).Entry[k]
+	cacheAddr, err := vm.require(k, entry, true)
+	if err != nil {
+		return err
+	}
+	vm.P.M.PC = cacheAddr
+	return nil
+}
+
+// Respawn models a crashed worker being re-spawned (paper §5.3): the
+// run-time nature of PSR re-randomizes the code cache on both ISAs.
+func (vm *VM) Respawn(k isa.Kind, newSeed int64) error {
+	vm.Rand = psr.NewRandomizer(newSeed, vm.Cfg.psrConfig())
+	vm.maps = make(map[int][2]*psr.Map)
+	for _, kk := range isa.Kinds {
+		vm.flush(kk)
+	}
+	return vm.Start(k)
+}
+
+// Run executes up to maxSteps instructions.
+func (vm *VM) Run(maxSteps uint64) (uint64, error) { return vm.P.Run(maxSteps) }
+
+// Active returns the ISA currently executing.
+func (vm *VM) Active() isa.Kind { return vm.P.M.ISA }
+
+// Cache returns the code cache of ISA k.
+func (vm *VM) Cache(k isa.Kind) *CodeCache { return vm.caches[k] }
+
+// RAT returns the return address table of ISA k.
+func (vm *VM) RATOf(k isa.Kind) *RAT { return vm.rats[k] }
+
+// MapOf returns (building on demand) the relocation map pair of fn.
+func (vm *VM) MapOf(fn *fatbin.FuncMeta) [2]*psr.Map { return vm.mapOf(fn) }
+
+// EnsureTranslated returns the cache address of src's translation on ISA
+// k, translating on demand. The migration engine uses it to land on warm
+// code after a switch.
+func (vm *VM) EnsureTranslated(k isa.Kind, src uint32) (uint32, error) {
+	return vm.require(k, src, true)
+}
+
+// ApplyReRelocate marshals the boundary (physical) register state into
+// pmap's relocated form in software — used by the migration engine when
+// resuming at a freshly translated continuation.
+func (vm *VM) ApplyReRelocate(pmap *psr.Map) error { return vm.applyReRelocate(pmap) }
+
+func (vm *VM) mapOf(fn *fatbin.FuncMeta) [2]*psr.Map {
+	if pair, ok := vm.maps[fn.Index]; ok {
+		return pair
+	}
+	pair := vm.Rand.BuildPair(fn)
+	vm.maps[fn.Index] = pair
+	return pair
+}
+
+func (vm *VM) flush(k isa.Kind) {
+	vm.caches[k].Flush()
+	vm.rats[k].Flush()
+	vm.traps[k] = make(map[uint32]trapMeta)
+	vm.calls[k] = make(map[uint32]callMeta)
+	vm.gen[k]++
+	vm.Stats.Flushes++
+}
+
+// unitAlign returns the code cache alignment for new units (machine block
+// placement aligns to I-cache lines at O1+).
+func (vm *VM) unitAlign() uint32 {
+	if vm.Cfg.Opt >= O1 {
+		return 64
+	}
+	return 16
+}
+
+// require returns the cache address of the translation of src on ISA k,
+// translating (and optionally dual-translating) on a miss.
+func (vm *VM) require(k isa.Kind, src uint32, dual bool) (uint32, error) {
+	if a, ok := vm.caches[k].Lookup(src); ok {
+		return a, nil
+	}
+	vm.Stats.CompulsoryMisses++
+	addr, err := vm.translate(k, src)
+	if err != nil {
+		return 0, err
+	}
+	if dual && vm.Cfg.DualTranslate {
+		// Translate the equivalent block for the other ISA so a future
+		// migration lands on warm code (paper §3.5).
+		other := k.Other()
+		if fn, blk := vm.Bin.BlockAt(k, src); fn != nil && blk != nil && blk.Addr[k] == src {
+			if _, ok := vm.caches[other].Lookup(blk.Addr[other]); !ok {
+				if _, err := vm.translate(other, blk.Addr[other]); err == nil {
+					// Best effort; failures surface when actually executed.
+					_ = err
+				}
+			}
+		}
+	}
+	return addr, nil
+}
+
+// translate builds, assembles, and commits one translation unit.
+func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
+	fn := vm.Bin.FuncAt(k, src)
+	if fn == nil {
+		return 0, fmt.Errorf("%w: %#x on %s", ErrNotText, src, k)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		base := vm.caches[k].NextAddr(vm.unitAlign())
+		t := &translator{
+			vm:   vm,
+			k:    k,
+			fn:   fn,
+			m:    vm.mapOf(fn)[k],
+			a:    isa.NewAsm(k, base),
+			tmps: vm.mapOf(fn)[k].FreeRegs,
+		}
+		if err := t.run(src); err != nil {
+			return 0, err
+		}
+		t.flushStubs()
+		code, labels, err := t.a.Assemble()
+		if err != nil {
+			return 0, fmt.Errorf("dbt: assembling unit for %#x: %w", src, err)
+		}
+		addr, ok := vm.caches[k].Reserve(uint32(len(code)), vm.unitAlign())
+		if !ok {
+			vm.flush(k)
+			continue
+		}
+		if addr != base {
+			return 0, fmt.Errorf("dbt: allocation raced: %#x != %#x", addr, base)
+		}
+		vm.caches[k].Commit(vm.P.Mem, src, addr, code)
+		vm.caches[k].AddCovered(t.srcRanges())
+		vm.Stats.Translations[k]++
+		for _, pt := range t.newTraps {
+			meta := pt.meta
+			meta.gen = vm.gen[k]
+			if pt.patchLabel != "" {
+				meta.patchAddr = labels[pt.patchLabel]
+			}
+			vm.traps[k][labels[pt.label]] = meta
+		}
+		for _, pc := range t.newCalls {
+			vm.calls[k][labels[pc.label]] = callMeta{srcRet: pc.srcRet, gen: vm.gen[k]}
+		}
+		return addr, nil
+	}
+	return 0, fmt.Errorf("dbt: unit for %#x exceeds code cache", src)
+}
+
+// onControl implements the modified call/return macro-ops (paper §5.1)
+// for execution inside the code cache.
+func (vm *VM) onControl(m *machine.Machine, in *isa.Inst, kind machine.ControlKind, target, retAddr uint32) (uint32, uint32, error) {
+	k := m.ISA
+	if !vm.caches[k].Contains(in.Addr) {
+		return target, retAddr, nil
+	}
+	switch kind {
+	case machine.CtlCall:
+		meta, ok := vm.calls[k][in.Addr]
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: unregistered call site %#x", ErrSecurityKill, in.Addr)
+		}
+		cacheRet := in.Addr + uint32(in.Size)
+		vm.rats[k].Insert(meta.srcRet, cacheRet)
+		return target, meta.srcRet, nil
+	case machine.CtlRet:
+		if target == proc.ExitAddr {
+			return target, retAddr, nil
+		}
+		if vm.PendingMigration && vm.Migrator != nil {
+			if vm.Migrator.Migrate(vm, target, true) {
+				vm.PendingMigration = false
+				vm.Stats.Migrations++
+				return vm.P.M.PC, retAddr, nil
+			}
+		}
+		if cacheRet, ok := vm.rats[k].Lookup(target); ok {
+			return cacheRet, retAddr, nil
+		}
+		// RAT miss: either an evicted translation (legitimate) or a
+		// corrupted return address (attack). The VM makes no attempt to
+		// distinguish (paper §3.5): this is a code-cache-miss security
+		// event.
+		vm.Stats.ReturnMisses++
+		newPC, err := vm.securityEvent(k, target, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		return newPC, retAddr, nil
+	}
+	return target, retAddr, nil
+}
+
+// applyReRelocate performs the physical->relocated register marshal in
+// software: recovery paths (RAT misses) enter freshly translated units
+// that expect relocated state, while returns leave state in the boundary
+// convention.
+func (vm *VM) applyReRelocate(pmap *psr.Map) error {
+	m := vm.P.M
+	sp := m.SP()
+	var snap [16]uint32
+	copy(snap[:], m.Regs[:])
+	for _, r := range relocatedRegs(pmap, m.ISA) {
+		l := pmap.LocOfReg(r)
+		if l.Kind == psr.LocReg {
+			m.Regs[l.Reg] = snap[r]
+		} else if err := m.Mem.WriteWord(sp+uint32(l.Off), snap[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// securityEvent handles an indirect control transfer that missed the code
+// cache: probabilistically migrate to the other ISA, then translate the
+// target (wherever it points — legitimate block or gadget) and continue.
+// returnBoundary marks events raised by returns, whose register state is
+// in the boundary (physical) convention and must be re-relocated before
+// entering a freshly translated continuation.
+func (vm *VM) securityEvent(k isa.Kind, srcTarget uint32, returnBoundary bool) (uint32, error) {
+	vm.Stats.CodeCacheMisses++
+	vm.Stats.SecurityEvents++
+	vm.LastEventTarget = srcTarget
+	srcTarget, k2, err := vm.normalizeCodeAddr(k, srcTarget)
+	if err != nil {
+		vm.Stats.Kills++
+		return 0, err
+	}
+	k = k2
+	if vm.Migrator != nil && vm.policyRng.Float64() < vm.Cfg.MigrateProb {
+		if vm.Migrator.Migrate(vm, srcTarget, returnBoundary) {
+			vm.Stats.Migrations++
+			vm.Stats.SecurityMigrations++
+			return vm.P.M.PC, nil
+		}
+	}
+	pc, err := vm.require(k, srcTarget, true)
+	if err != nil {
+		return 0, err
+	}
+	if returnBoundary {
+		if fn := vm.Bin.FuncAt(k, srcTarget); fn != nil {
+			if err := vm.applyReRelocate(vm.mapOf(fn)[k]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return pc, nil
+}
+
+// normalizeCodeAddr validates a code address and, when it points into the
+// other ISA's text (a function pointer materialized before a migration),
+// maps it to the current ISA via the symbol table. Targets inside either
+// code cache are rejected outright (software fault isolation, §5.1).
+func (vm *VM) normalizeCodeAddr(k isa.Kind, addr uint32) (uint32, isa.Kind, error) {
+	for _, kk := range isa.Kinds {
+		if vm.caches[kk].Contains(addr) {
+			vm.Stats.Kills++
+			return 0, k, fmt.Errorf("%w: indirect transfer into code cache at %#x", ErrSecurityKill, addr)
+		}
+	}
+	if vm.Bin.FuncAt(k, addr) != nil {
+		return addr, k, nil
+	}
+	other := k.Other()
+	if fn := vm.Bin.FuncAt(other, addr); fn != nil {
+		// Cross-ISA code pointer: prefer exact block correspondence, then
+		// function entry.
+		if _, blk := vm.Bin.BlockAt(other, addr); blk != nil && blk.Addr[other] == addr {
+			return blk.Addr[k], k, nil
+		}
+		if fn.Entry[other] == addr {
+			return fn.Entry[k], k, nil
+		}
+		return fn.Entry[k], k, nil
+	}
+	return 0, k, fmt.Errorf("%w: indirect transfer to non-text address %#x", ErrSecurityKill, addr)
+}
+
+// onSyscall dispatches program syscalls and VM traps.
+func (vm *VM) onSyscall(m *machine.Machine, vector int32) error {
+	k := m.ISA
+	switch vector {
+	case vecSyscall:
+		vm.Stats.SyscallsForwarded++
+		return vm.progSyscall(m, 0x80)
+	case vecIndirect, vecChain, vecKill, vecPopPC:
+		instrSize := uint32(2) // x86 int imm8
+		if k == isa.ARM {
+			instrSize = 4
+		}
+		key := m.PC - instrSize
+		meta, ok := vm.traps[k][key]
+		if !ok {
+			return fmt.Errorf("%w: forged or stale trap at %#x", ErrSecurityKill, key)
+		}
+		switch vector {
+		case vecKill:
+			vm.Stats.Kills++
+			return fmt.Errorf("%w: untranslatable code reached (trap at %#x)", ErrSecurityKill, key)
+		case vecChain:
+			return vm.handleChain(m, k, &meta)
+		case vecIndirect:
+			return vm.handleIndirect(m, k, &meta)
+		case vecPopPC:
+			return vm.handlePopPC(m, k)
+		}
+	}
+	return fmt.Errorf("dbt: unknown syscall vector %#x", vector)
+}
+
+// handleChain translates the target of a direct branch and patches the
+// branch site to jump straight into the cache next time.
+func (vm *VM) handleChain(m *machine.Machine, k isa.Kind, meta *trapMeta) error {
+	cacheAddr, err := vm.require(k, meta.srcTarget, true)
+	if err != nil {
+		return err
+	}
+	if meta.gen == vm.gen[k] {
+		in := isa.Inst{Op: meta.patchOp, Cond: meta.patchCond, Addr: meta.patchAddr, Target: cacheAddr}
+		b, err := isa.Encode(k, &in)
+		if err != nil {
+			return fmt.Errorf("dbt: patch encode: %w", err)
+		}
+		vm.caches[k].Patch(vm.P.Mem, meta.patchAddr, b)
+		vm.Stats.ChainPatches++
+	}
+	m.PC = cacheAddr
+	return nil
+}
+
+// handleIndirect dispatches an indirect call or jump: evaluate the target
+// from relocated state, police it, and transfer — marshaling staged
+// arguments and updating the RAT for calls.
+func (vm *VM) handleIndirect(m *machine.Machine, k isa.Kind, meta *trapMeta) error {
+	vm.Stats.IndirectDispatch++
+	fn := vm.Bin.Funcs[meta.fnIndex]
+	pmap := vm.mapOf(fn)[k]
+	var target uint32
+	var err error
+	if meta.targetSlot != 0 {
+		// Indirect call: the target was staged before the boundary marshal.
+		target, err = m.Mem.ReadWord(m.SP() + uint32(meta.targetSlot-meta.delta))
+	} else {
+		target, err = vm.evalOperand(m, pmap, meta.operand, meta.delta, meta.physState)
+	}
+	if err != nil {
+		return fmt.Errorf("dbt: indirect target unavailable: %w", err)
+	}
+	target, k, err = vm.normalizeCodeAddr(k, target)
+	if err != nil {
+		return err
+	}
+	cacheAddr, hit := vm.caches[k].Lookup(target)
+	if !meta.isCall {
+		if hit {
+			vm.caches[k].MarkIndirectTarget(target)
+			m.PC = cacheAddr
+			return nil
+		}
+		// Code-cache miss on an indirect jump: the security event (may
+		// migrate; register state is in relocated form).
+		newPC, err := vm.securityEvent(k, target, false)
+		if err != nil {
+			return err
+		}
+		vm.caches[vm.P.M.ISA].MarkIndirectTarget(target)
+		m.PC = newPC
+		return nil
+	}
+	// Indirect call: complete the dispatch on the current ISA first.
+	genBefore := vm.gen[k]
+	if !hit {
+		vm.Stats.CodeCacheMisses++
+		vm.Stats.SecurityEvents++
+		cacheAddr, err = vm.require(k, target, true)
+		if err != nil {
+			vm.Stats.Kills++
+			return fmt.Errorf("%w: %v", ErrSecurityKill, err)
+		}
+	}
+	vm.caches[k].MarkIndirectTarget(target)
+	// Relocate staged arguments into the callee's randomized convention,
+	// save the source return address per the ISA, update the RAT.
+	callee := vm.Bin.FuncAt(k, target)
+	if callee != nil && callee.Entry[k] == target {
+		cmap := vm.mapOf(callee)[k]
+		sp := m.SP()
+		for i := 0; i < callee.NumArgs; i++ {
+			v, err := m.Mem.ReadWord(sp + uint32(pmap.StageOff+4*int32(i)-meta.delta))
+			if err != nil {
+				return err
+			}
+			if err := m.Mem.WriteWord(sp+uint32(cmap.ArgOff[i]), v); err != nil {
+				return err
+			}
+		}
+	}
+	// Register the return mapping — unless translating the callee flushed
+	// the cache, in which case this unit's continuation is gone and the
+	// return must take the RAT-miss recovery path instead.
+	if vm.gen[k] == genBefore {
+		cacheRet := m.PC // instruction after the trap
+		vm.rats[m.ISA].Insert(meta.srcRet, cacheRet)
+	}
+	if m.ISA == isa.X86 {
+		sp := m.SP() - 4
+		if err := m.Mem.WriteWord(sp, meta.srcRet); err != nil {
+			return err
+		}
+		m.SetSP(sp)
+	} else {
+		m.Regs[isa.LR] = meta.srcRet
+	}
+	m.PC = cacheAddr
+	// A missing indirect call target is a potential breach: migrate to
+	// the other ISA with some probability (paper §3.5), at the callee
+	// entry boundary.
+	if !hit && vm.Migrator != nil && vm.policyRng.Float64() < vm.Cfg.MigrateProb {
+		if vm.Migrator.MigrateEntry(vm, target) {
+			vm.Stats.Migrations++
+			vm.Stats.SecurityMigrations++
+		}
+	}
+	return nil
+}
+
+// handlePopPC completes an ARM pop-multiple that included PC: the popped
+// word is a source return address routed through the RAT.
+func (vm *VM) handlePopPC(m *machine.Machine, k isa.Kind) error {
+	sp := m.SP()
+	srcRet, err := m.Mem.ReadWord(sp)
+	if err != nil {
+		return err
+	}
+	m.SetSP(sp + 4)
+	if srcRet == proc.ExitAddr {
+		m.Halted = true
+		vm.P.Exited = true
+		vm.P.ExitCode = m.Regs[isa.R0]
+		return nil
+	}
+	if cacheRet, ok := vm.rats[k].Lookup(srcRet); ok {
+		m.PC = cacheRet
+		return nil
+	}
+	vm.Stats.ReturnMisses++
+	newPC, err := vm.securityEvent(k, srcRet, true)
+	if err != nil {
+		return err
+	}
+	m.PC = newPC
+	return nil
+}
+
+// evalOperand reads an indirect-transfer target from program state. When
+// physState is set (indirect calls marshal to the boundary convention
+// before trapping), registers are read physically; otherwise through the
+// relocation map. Frame-resident values are always read through the map.
+func (vm *VM) evalOperand(m *machine.Machine, pmap *psr.Map, o isa.Operand, delta int32, physState bool) (uint32, error) {
+	sp := m.SP()
+	regVal := func(r isa.Reg) (uint32, error) {
+		if physState || r == isa.StackReg(m.ISA) {
+			return m.Regs[r], nil
+		}
+		l := pmap.LocOfReg(r)
+		if l.Kind == psr.LocReg {
+			return m.Regs[l.Reg], nil
+		}
+		return m.Mem.ReadWord(sp + uint32(l.Off-delta))
+	}
+	switch o.Kind {
+	case isa.OpdReg:
+		return regVal(o.Reg)
+	case isa.OpdMem:
+		mr := o.Mem
+		if mr.HasBase && mr.Base == isa.StackReg(m.ISA) && !mr.HasIndex {
+			xc := mr.Disp + delta
+			off := remapFrameOff(pmap, xc, nil, false)
+			return m.Mem.ReadWord(sp + uint32(off-delta))
+		}
+		var ea uint32 = uint32(mr.Disp)
+		if mr.HasBase {
+			v, err := regVal(mr.Base)
+			if err != nil {
+				return 0, err
+			}
+			ea += v
+		}
+		if mr.HasIndex {
+			v, err := regVal(mr.Index)
+			if err != nil {
+				return 0, err
+			}
+			s := uint32(mr.Scale)
+			if s == 0 {
+				s = 1
+			}
+			ea += v * s
+		}
+		return m.Mem.ReadWord(ea)
+	}
+	return 0, fmt.Errorf("dbt: bad indirect operand")
+}

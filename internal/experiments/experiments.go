@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) on the synthetic benchmark suite: each driver returns a
+// structured result and can print the same rows/series the paper reports.
+// EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hipstr/internal/compiler"
+	"hipstr/internal/fatbin"
+	"hipstr/internal/gadget"
+	"hipstr/internal/prog"
+	"hipstr/internal/workload"
+)
+
+// Suite configures a run of the experiment drivers.
+type Suite struct {
+	// Profiles is the benchmark list (defaults to the paper's eight).
+	Profiles []workload.Profile
+	// Quick trims sweeps and samples gadget populations so the whole
+	// suite finishes in test-friendly time.
+	Quick bool
+	// Out receives human-readable tables (nil discards).
+	Out io.Writer
+
+	bins map[string]*fatbin.Binary
+	mods map[string]*prog.Module
+}
+
+// NewSuite returns a Suite over the full benchmark set.
+func NewSuite(out io.Writer) *Suite {
+	return &Suite{Profiles: workload.Profiles(), Out: out}
+}
+
+// QuickSuite returns a reduced suite for tests: the three smallest
+// benchmarks and sampled gadget populations.
+func QuickSuite(out io.Writer) *Suite {
+	var ps []workload.Profile
+	for _, name := range []string{"libquantum", "lbm", "mcf"} {
+		p, _ := workload.ProfileByName(name)
+		ps = append(ps, p)
+	}
+	return &Suite{Profiles: ps, Quick: true, Out: out}
+}
+
+func (s *Suite) printf(format string, args ...interface{}) {
+	if s.Out != nil {
+		fmt.Fprintf(s.Out, format, args...)
+	}
+}
+
+// bin compiles (and caches) a benchmark.
+func (s *Suite) bin(p workload.Profile) (*fatbin.Binary, error) {
+	if s.bins == nil {
+		s.bins = make(map[string]*fatbin.Binary)
+		s.mods = make(map[string]*prog.Module)
+	}
+	if b, ok := s.bins[p.Name]; ok {
+		return b, nil
+	}
+	mod := workload.Generate(p)
+	b, err := compiler.Compile(mod)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compile %s: %w", p.Name, err)
+	}
+	s.bins[p.Name] = b
+	s.mods[p.Name] = mod
+	return b, nil
+}
+
+func (s *Suite) module(name string) *prog.Module { return s.mods[name] }
+
+// sampleGadgets bounds a gadget population in Quick mode.
+func (s *Suite) sampleGadgets(gs []gadget.Gadget) []gadget.Gadget {
+	const cap = 400
+	if !s.Quick || len(gs) <= cap {
+		return gs
+	}
+	step := len(gs) / cap
+	out := make([]gadget.Gadget, 0, cap)
+	for i := 0; i < len(gs); i += step {
+		out = append(out, gs[i])
+	}
+	return out
+}
+
+// viableGadgets mines and evaluates the viable population of a binary.
+func viableGadgets(bin *fatbin.Binary, gs []gadget.Gadget) (viable []int, effects []gadget.Effect) {
+	an := gadget.NewAnalyzer(bin)
+	effects = make([]gadget.Effect, len(gs))
+	for i := range gs {
+		effects[i] = an.NativeEffect(&gs[i])
+		if effects[i].Viable() {
+			viable = append(viable, i)
+		}
+	}
+	return viable, effects
+}
+
+// header prints a section banner.
+func (s *Suite) header(title string) {
+	s.printf("\n== %s ==\n", title)
+}

@@ -1,0 +1,238 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hipstr/internal/attack"
+	"hipstr/internal/experiments"
+	"hipstr/internal/isa"
+)
+
+// The quick suite exercises every experiment driver end to end and checks
+// the paper's qualitative claims on the reduced benchmark set.
+
+func quick(t *testing.T) (*experiments.Suite, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	return experiments.QuickSuite(&buf), &buf
+}
+
+func TestFig3SurfaceReduction(t *testing.T) {
+	s, buf := quick(t)
+	rows, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Viable == 0 {
+			t.Fatalf("%s: no viable gadgets", r.Benchmark)
+		}
+		frac := float64(r.Unobfuscated) / float64(r.Viable)
+		if frac > 0.15 {
+			t.Fatalf("%s: %.0f%% unobfuscated; PSR should obfuscate the vast majority",
+				r.Benchmark, frac*100)
+		}
+	}
+	t.Log(buf.String())
+}
+
+func TestFig4SurvivingFraction(t *testing.T) {
+	s, _ := quick(t)
+	rows, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		frac := float64(r.Surviving) / float64(r.Total)
+		if frac <= 0 || frac > 0.5 {
+			t.Fatalf("%s: surviving fraction %.2f implausible (paper: ~16%%)", r.Benchmark, frac)
+		}
+	}
+}
+
+func TestTable2Infeasibility(t *testing.T) {
+	s, _ := quick(t)
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AttemptsNoBias < 1e12 {
+			t.Fatalf("%s: brute force feasible (%.2e attempts)", r.Benchmark, r.AttemptsNoBias)
+		}
+	}
+}
+
+func TestFig5MigrationGating(t *testing.T) {
+	s, _ := quick(t)
+	rows, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.JIT.InCache > r.JIT.TotalViable {
+			t.Fatalf("%s: cache surface exceeds total", r.Benchmark)
+		}
+		if r.JIT.SufficientForExploit {
+			t.Fatalf("%s: JIT-ROP exploit remained possible", r.Benchmark)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	s, _ := quick(t)
+	rows, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.X86ToARM < 0.5 || r.ARMToX86 < 0.5 {
+			t.Fatalf("%s: migration safety too low: %+v", r.Benchmark, r)
+		}
+		if r.LegacyX86 > r.X86ToARM || r.LegacyARM > r.ARMToX86 {
+			t.Fatalf("%s: on-demand transform did not improve safety", r.Benchmark)
+		}
+	}
+}
+
+func TestFig7And8(t *testing.T) {
+	s, _ := quick(t)
+	pts := s.Fig7(33)
+	if len(pts) != 12 {
+		t.Fatal("wrong chain range")
+	}
+	curves, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[attack.Technique]experiments.Fig8Curve{}
+	for _, c := range curves {
+		byName[c.Technique] = c
+	}
+	last := len(byName[attack.TechHIPStR].Surviving) - 1
+	if byName[attack.TechHIPStR].Surviving[last] > byName[attack.TechPSRIsomeron].Surviving[last] {
+		t.Fatal("HIPStR should retain fewer gadgets than PSR+Isomeron at p=1")
+	}
+}
+
+func TestFig9And10Windows(t *testing.T) {
+	s, _ := quick(t)
+	rows, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.O3 < 0.2 || r.O3 > 1.1 {
+			t.Fatalf("%s: O3 relative %.2f implausible", r.Benchmark, r.O3)
+		}
+		if r.O2 < r.O1*0.9 {
+			t.Fatalf("%s: O2 (%.2f) regressed badly from O1 (%.2f)", r.Benchmark, r.O2, r.O1)
+		}
+	}
+	rows10, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows10 {
+		// Figure 10: growing the frame to 64 KiB costs only a few percent.
+		if r.S64 < r.S8-0.15 {
+			t.Fatalf("%s: S64 (%.2f) collapsed vs S8 (%.2f)", r.Benchmark, r.S64, r.S8)
+		}
+	}
+}
+
+func TestFig11RATFree(t *testing.T) {
+	s, _ := quick(t)
+	pts, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1]
+	if last.MissRate > 0.001 {
+		t.Fatalf("large RAT still missing: %.4f", last.MissRate)
+	}
+	// 512+ entries should be essentially free (paper: no noticeable
+	// degradation at 512).
+	for _, pt := range pts {
+		if pt.RATSize >= 512 && pt.Overhead > 0.02 {
+			t.Fatalf("RAT %d overhead %.3f", pt.RATSize, pt.Overhead)
+		}
+	}
+}
+
+func TestFig12Asymmetry(t *testing.T) {
+	s, _ := quick(t)
+	rows, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ToARMus == 0 || r.ToX86us == 0 {
+			t.Fatalf("%s: no migrations measured: %+v", r.Benchmark, r)
+		}
+		if r.ToARMus <= r.ToX86us {
+			t.Fatalf("%s: x86->arm (%f) should cost more than arm->x86 (%f)",
+				r.Benchmark, r.ToARMus, r.ToX86us)
+		}
+	}
+}
+
+func TestFig13LargeCacheQuiet(t *testing.T) {
+	s, _ := quick(t)
+	pts, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := pts[0], pts[len(pts)-1]
+	if small.CacheKB > large.CacheKB {
+		t.Fatal("points out of order")
+	}
+	if large.Flushes > small.Flushes {
+		t.Fatal("larger cache flushed more")
+	}
+}
+
+func TestFig14HIPStRWins(t *testing.T) {
+	s, buf := quick(t)
+	curves, err := s.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for _, c := range curves {
+		byName[c.System] = c.Relative
+	}
+	last := len(byName["Isomeron"]) - 1
+	if byName["HIPStR-2MB"][last] <= byName["Isomeron"][last] {
+		t.Log(buf.String())
+		t.Fatalf("HIPStR (%.2f) did not beat Isomeron (%.2f) at p=1",
+			byName["HIPStR-2MB"][last], byName["Isomeron"][last])
+	}
+	if byName["HIPStR-2MB"][last] <= byName["PSR+Isomeron"][last] {
+		t.Fatalf("HIPStR should beat PSR+Isomeron")
+	}
+	if !strings.Contains(buf.String(), "HIPStR") {
+		t.Fatal("no output")
+	}
+	_ = isa.X86
+}
+
+func TestHTTPDCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("httpd is the largest binary")
+	}
+	s, buf := quick(t)
+	res, err := s.HTTPD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obfuscated < 0.85 {
+		t.Fatalf("httpd obfuscation only %.2f", res.Obfuscated)
+	}
+	if res.JIT.SufficientForExploit {
+		t.Fatal("httpd JIT-ROP exploit possible")
+	}
+	t.Log(buf.String())
+}

@@ -1,0 +1,423 @@
+package experiments
+
+import (
+	"hipstr/internal/core"
+	"hipstr/internal/dbt"
+	"hipstr/internal/isa"
+	"hipstr/internal/isomeron"
+	"hipstr/internal/migrate"
+	"hipstr/internal/perf"
+	"hipstr/internal/stats"
+)
+
+// measurement window (progress-write boundaries).
+func (s *Suite) window() (warm, measure int) {
+	if s.Quick {
+		return 1, 1
+	}
+	return 1, 2
+}
+
+// Fig9Row is one benchmark of Figure 9: relative performance at each PSR
+// optimization level (1.0 = native).
+type Fig9Row struct {
+	Benchmark  string
+	O1, O2, O3 float64
+	NativeCPI  float64
+}
+
+// Fig9 measures steady-state performance at each optimization level.
+func (s *Suite) Fig9() ([]Fig9Row, error) {
+	s.header("Figure 9: Performance at PSR optimization levels (relative to native)")
+	warm, meas := s.window()
+	var rows []Fig9Row
+	for _, p := range s.Profiles {
+		bin, err := s.bin(p)
+		if err != nil {
+			return nil, err
+		}
+		native, err := perf.MeasureNative(bin, isa.X86, warm, meas)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{Benchmark: p.Name, NativeCPI: native.CPI}
+		for _, o := range []dbt.OptLevel{dbt.O1, dbt.O2, dbt.O3} {
+			cfg := dbt.DefaultConfig()
+			cfg.Opt = o
+			cfg.Seed = p.Seed
+			cfg.MigrateProb = 0
+			m, _, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
+			if err != nil {
+				return nil, err
+			}
+			rel := perf.Relative(native, m)
+			switch o {
+			case dbt.O1:
+				row.O1 = rel
+			case dbt.O2:
+				row.O2 = rel
+			case dbt.O3:
+				row.O3 = rel
+			}
+		}
+		rows = append(rows, row)
+		s.printf("%-12s O1 %s  O2 %s  O3 %s\n", p.Name,
+			stats.Pct(row.O1), stats.Pct(row.O2), stats.Pct(row.O3))
+	}
+	var o3 []float64
+	for _, r := range rows {
+		o3 = append(o3, r.O3)
+	}
+	s.printf("average PSR-O3: %s of native (paper: 86.9%%)\n", stats.Pct(stats.Mean(o3)))
+	return rows, nil
+}
+
+// Fig10Row is one benchmark of Figure 10: relative performance at each
+// stack-randomization size.
+type Fig10Row struct {
+	Benchmark         string
+	S8, S16, S32, S64 float64
+}
+
+// Fig10 sweeps the frame randomization space (S8..S64 KiB).
+func (s *Suite) Fig10() ([]Fig10Row, error) {
+	s.header("Figure 10: Effect of additional stack memory (relative to native)")
+	warm, meas := s.window()
+	sizes := []int{2, 4, 8, 16} // pages: 8,16,32,64 KiB
+	var rows []Fig10Row
+	for _, p := range s.Profiles {
+		bin, err := s.bin(p)
+		if err != nil {
+			return nil, err
+		}
+		native, err := perf.MeasureNative(bin, isa.X86, warm, meas)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10Row{Benchmark: p.Name}
+		for i, pages := range sizes {
+			cfg := dbt.DefaultConfig()
+			cfg.RandPages = pages
+			cfg.Seed = p.Seed
+			cfg.MigrateProb = 0
+			m, _, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
+			if err != nil {
+				return nil, err
+			}
+			rel := perf.Relative(native, m)
+			switch i {
+			case 0:
+				row.S8 = rel
+			case 1:
+				row.S16 = rel
+			case 2:
+				row.S32 = rel
+			case 3:
+				row.S64 = rel
+			}
+		}
+		rows = append(rows, row)
+		s.printf("%-12s S8 %s  S16 %s  S32 %s  S64 %s\n", p.Name,
+			stats.Pct(row.S8), stats.Pct(row.S16), stats.Pct(row.S32), stats.Pct(row.S64))
+	}
+	return rows, nil
+}
+
+// Fig11Point is one RAT size of Figure 11 (suite-average overhead vs the
+// largest RAT).
+type Fig11Point struct {
+	RATSize  int
+	Overhead float64 // fractional cycles overhead vs the 2048-entry RAT
+	MissRate float64
+}
+
+// Fig11 sweeps the hardware return address table size.
+func (s *Suite) Fig11() ([]Fig11Point, error) {
+	s.header("Figure 11: Effect of RAT size on performance")
+	warm, meas := s.window()
+	sizes := []int{32, 64, 128, 256, 512, 1024, 2048}
+	if s.Quick {
+		sizes = []int{32, 256, 2048}
+	}
+	base := map[string]float64{}
+	var pts []Fig11Point
+	for _, size := range sizes {
+		var overheads, missRates []float64
+		for _, p := range s.Profiles {
+			bin, err := s.bin(p)
+			if err != nil {
+				return nil, err
+			}
+			cfg := dbt.DefaultConfig()
+			cfg.RATSize = size
+			cfg.Seed = p.Seed
+			cfg.MigrateProb = 0
+			m, vm, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
+			if err != nil {
+				return nil, err
+			}
+			if size == sizes[len(sizes)-1] {
+				base[p.Name] = m.Cycles
+			}
+			overheads = append(overheads, m.Cycles)
+			rat := vm.RATOf(isa.X86)
+			if rat.Lookups > 0 {
+				missRates = append(missRates, float64(rat.Misses)/float64(rat.Lookups))
+			}
+		}
+		pts = append(pts, Fig11Point{RATSize: size,
+			Overhead: stats.Mean(overheads), MissRate: stats.Mean(missRates)})
+	}
+	// Normalize against the largest RAT.
+	ref := pts[len(pts)-1].Overhead
+	for i := range pts {
+		pts[i].Overhead = pts[i].Overhead/ref - 1
+		s.printf("RAT %5d: overhead %s, miss rate %.4f%%\n",
+			pts[i].RATSize, stats.Pct(pts[i].Overhead), 100*pts[i].MissRate)
+	}
+	return pts, nil
+}
+
+// Fig12Row is one benchmark of Figure 12: migration overhead in
+// microseconds, both directions, averaged over random checkpoints.
+type Fig12Row struct {
+	Benchmark string
+	ToX86us   float64 // ARM -> x86
+	ToARMus   float64 // x86 -> ARM
+}
+
+// Fig12 forces migrations at random checkpoints and reports the modeled
+// state-transformation cost.
+func (s *Suite) Fig12() ([]Fig12Row, error) {
+	s.header("Figure 12: Migration overhead (microseconds)")
+	checkpoints := 10
+	if s.Quick {
+		checkpoints = 4
+	}
+	var rows []Fig12Row
+	for _, p := range s.Profiles {
+		bin, err := s.bin(p)
+		if err != nil {
+			return nil, err
+		}
+		var toARM, toX86 []float64
+		// runToMigration advances in small slices until a migration lands
+		// (or the program ends).
+		runToMigration := func(sys *core.System) (bool, error) {
+			before := sys.Engine.Stats.Migrations
+			for i := 0; i < 400; i++ {
+				if sys.Exited() {
+					return false, nil
+				}
+				if _, err := sys.Run(5_000); err != nil {
+					return false, err
+				}
+				if sys.Engine.Stats.Migrations > before {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		for c := 0; c < checkpoints; c++ {
+			cfg := core.DefaultConfig()
+			cfg.DBT.Seed = p.Seed + int64(c)
+			cfg.DBT.MigrateProb = 0 // only forced migrations
+			sys, err := core.New(bin, cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Random checkpoint: run a varying slice, then force.
+			if _, err := sys.Run(uint64(3_000 + 7_000*c)); err != nil {
+				return nil, err
+			}
+			eng := sys.Engine
+			// x86 -> ARM.
+			sys.RequestPhaseMigration()
+			ok, err := runToMigration(sys)
+			if err != nil {
+				return nil, err
+			}
+			if ok && sys.Active() == isa.ARM {
+				toARM = append(toARM, eng.Stats.LastCostMicros)
+				// ARM -> x86.
+				sys.RequestPhaseMigration()
+				ok, err = runToMigration(sys)
+				if err != nil {
+					return nil, err
+				}
+				if ok && sys.Active() == isa.X86 {
+					toX86 = append(toX86, eng.Stats.LastCostMicros)
+				}
+			}
+		}
+		row := Fig12Row{Benchmark: p.Name,
+			ToARMus: stats.Mean(toARM), ToX86us: stats.Mean(toX86)}
+		rows = append(rows, row)
+		s.printf("%-12s arm->x86 %7.0fus  x86->arm %7.0fus\n", p.Name, row.ToX86us, row.ToARMus)
+	}
+	var a, b []float64
+	for _, r := range rows {
+		if r.ToX86us > 0 {
+			a = append(a, r.ToX86us)
+		}
+		if r.ToARMus > 0 {
+			b = append(b, r.ToARMus)
+		}
+	}
+	s.printf("average: arm->x86 %.0fus (paper: 909us), x86->arm %.0fus (paper: 1287us)\n",
+		stats.Mean(a), stats.Mean(b))
+	return rows, nil
+}
+
+// Fig13Point is one cache size of Figure 13: indirect-transfer code-cache
+// misses (security events) observed in a fixed work window.
+type Fig13Point struct {
+	CacheKB        int
+	SecurityEvents uint64
+	Flushes        uint64
+	OverheadPct    float64
+}
+
+// Fig13 sweeps the code cache size.
+func (s *Suite) Fig13() ([]Fig13Point, error) {
+	s.header("Figure 13: Effect of code cache size on security migrations")
+	warm, meas := s.window()
+	sizes := []int{16, 32, 64, 128, 256, 768, 1536}
+	if s.Quick {
+		sizes = []int{16, 64, 1536}
+	}
+	var pts []Fig13Point
+	var refCycles float64
+	for si := len(sizes) - 1; si >= 0; si-- {
+		kb := sizes[si]
+		var events, flushes uint64
+		var cycles []float64
+		for _, p := range s.Profiles {
+			bin, err := s.bin(p)
+			if err != nil {
+				return nil, err
+			}
+			cfg := dbt.DefaultConfig()
+			cfg.CodeCacheSize = uint32(kb) * 1024
+			cfg.Seed = p.Seed
+			cfg.MigrateProb = 0
+			m, vm, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
+			if err != nil {
+				return nil, err
+			}
+			events += vm.Stats.CodeCacheMisses
+			flushes += vm.Stats.Flushes
+			cycles = append(cycles, m.Cycles)
+		}
+		pt := Fig13Point{CacheKB: kb, SecurityEvents: events, Flushes: flushes}
+		c := stats.Mean(cycles)
+		if si == len(sizes)-1 {
+			refCycles = c
+		}
+		if refCycles > 0 {
+			pt.OverheadPct = c/refCycles - 1
+		}
+		pts = append([]Fig13Point{pt}, pts...)
+	}
+	for _, pt := range pts {
+		s.printf("cache %5dKB: security events %4d, flushes %3d, overhead %s\n",
+			pt.CacheKB, pt.SecurityEvents, pt.Flushes, stats.Pct(pt.OverheadPct))
+	}
+	return pts, nil
+}
+
+// Fig14Curve is one system's relative performance over diversification
+// probability (Figure 14).
+type Fig14Curve struct {
+	System   string
+	P        []float64
+	Relative []float64
+}
+
+// Fig14 compares HIPStR (two cache sizes) against Isomeron and
+// PSR+Isomeron.
+func (s *Suite) Fig14() ([]Fig14Curve, error) {
+	s.header("Figure 14: Performance comparison with Isomeron (relative to native)")
+	warm, meas := s.window()
+	ps := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	if s.Quick {
+		ps = []float64{0, 0.5, 1.0}
+	}
+	systems := []string{"Isomeron", "PSR+Isomeron", "HIPStR-256KB", "HIPStR-2MB"}
+	curves := make([]Fig14Curve, len(systems))
+	for i, name := range systems {
+		curves[i] = Fig14Curve{System: name, P: ps}
+	}
+	for _, pv := range ps {
+		var iso, combo, hip256, hip2m []float64
+		for _, p := range s.Profiles {
+			bin, err := s.bin(p)
+			if err != nil {
+				return nil, err
+			}
+			native, err := perf.MeasureNative(bin, isa.X86, warm, meas)
+			if err != nil {
+				return nil, err
+			}
+			// Isomeron: modeled from the native run's call structure.
+			isoCfg := isomeron.DefaultConfig()
+			isoCfg.DiversifyProb = pv
+			iso = append(iso, isoCfg.Apply(native).Relative)
+			// PSR+Isomeron: PSR measured, Isomeron shepherding on top.
+			psrCfg := dbt.DefaultConfig()
+			psrCfg.Seed = p.Seed
+			psrCfg.MigrateProb = 0
+			psrRun, _, err := perf.MeasureVM(bin, isa.X86, psrCfg, warm, meas)
+			if err != nil {
+				return nil, err
+			}
+			combo = append(combo, isoCfg.CombineWithPSR(native, psrRun).Relative)
+			// HIPStR: PSR plus probabilistic migration on steady-state
+			// security events. Warm caches make those events rare, so
+			// raising the diversification probability costs almost
+			// nothing — the paper's core performance argument. The
+			// event rate is measured over the steady-state window and
+			// each event charged the modeled migration cost.
+			for _, cacheKB := range []int{256, 2048} {
+				cfg := dbt.DefaultConfig()
+				cfg.Seed = p.Seed
+				cfg.CodeCacheSize = uint32(cacheKB) * 1024
+				cfg.MigrateProb = 0 // measure events; migration modeled below
+				m, delta, _, err := perf.MeasureVMStats(bin, isa.X86, cfg, warm, meas)
+				if err != nil {
+					return nil, err
+				}
+				coreCfg := perf.CoreFor(isa.X86)
+				migCycles := migrate.CostMicros(isa.ARM, 4, 120) * coreCfg.FreqGHz * 1e3
+				extra := pv * float64(delta.CodeCacheMisses) * migCycles
+				rel := native.Cycles / (m.Cycles + extra)
+				if cacheKB == 256 {
+					hip256 = append(hip256, rel)
+				} else {
+					hip2m = append(hip2m, rel)
+				}
+			}
+		}
+		curves[0].Relative = append(curves[0].Relative, stats.Mean(iso))
+		curves[1].Relative = append(curves[1].Relative, stats.Mean(combo))
+		curves[2].Relative = append(curves[2].Relative, stats.Mean(hip256))
+		curves[3].Relative = append(curves[3].Relative, stats.Mean(hip2m))
+	}
+	s.printf("%5s", "p")
+	for _, c := range curves {
+		s.printf(" %13s", c.System)
+	}
+	s.printf("\n")
+	for i, pv := range ps {
+		s.printf("%5.2f", pv)
+		for _, c := range curves {
+			s.printf(" %13s", stats.Pct(c.Relative[i]))
+		}
+		s.printf("\n")
+	}
+	// Headline: HIPStR vs Isomeron at full diversification.
+	last := len(ps) - 1
+	s.printf("HIPStR(2MB) vs Isomeron at p=1: +%s (paper: +15.6%%)\n",
+		stats.Pct(curves[3].Relative[last]/curves[0].Relative[last]-1))
+	return curves, nil
+}

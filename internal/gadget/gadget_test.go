@@ -1,0 +1,163 @@
+package gadget_test
+
+import (
+	"testing"
+
+	"hipstr/internal/compiler"
+	"hipstr/internal/dbt"
+	"hipstr/internal/fatbin"
+	"hipstr/internal/gadget"
+	"hipstr/internal/isa"
+	"hipstr/internal/testprogs"
+)
+
+func binFor(t *testing.T, name string) *fatbin.Binary {
+	t.Helper()
+	tc, ok := testprogs.All()[name]
+	if !ok {
+		t.Fatalf("no program %q", name)
+	}
+	bin, err := compiler.Compile(tc.Mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestMineFindsGadgets(t *testing.T) {
+	bin := binFor(t, "fib")
+	gs := gadget.Mine(bin, isa.X86, 0)
+	if len(gs) == 0 {
+		t.Fatal("no x86 gadgets in a binary with returns")
+	}
+	rets := 0
+	for i := range gs {
+		if gs[i].Ender == gadget.EndRet {
+			rets++
+		}
+		if gs[i].Len == 0 || gs[i].Len > gadget.MaxInstrs+1 {
+			t.Fatalf("gadget %s has %d instructions", gs[i].String(), gs[i].Len)
+		}
+	}
+	if rets == 0 {
+		t.Fatal("no ret-ending gadgets")
+	}
+}
+
+func TestX86SurfaceExceedsARM(t *testing.T) {
+	// §5.5: the aligned, strictly decoded ARM ISA has a far smaller
+	// gadget surface (the paper measures 52x on real ISAs). Use a binary
+	// with enough code volume for unintentional gadgets to appear.
+	bin, err := compiler.Compile(testprogs.GadgetRich(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := len(gadget.Mine(bin, isa.X86, 0))
+	a := len(gadget.Mine(bin, isa.ARM, 0))
+	if x == 0 {
+		t.Fatal("x86 surface empty")
+	}
+	if a*2 > x {
+		t.Fatalf("ARM surface (%d) not much smaller than x86 (%d)", a, x)
+	}
+	t.Logf("x86 %d vs ARM %d gadgets (%.1fx)", x, a, float64(x)/float64(a))
+}
+
+func TestX86HasUnintentionalGadgets(t *testing.T) {
+	bin := binFor(t, "collatz")
+	gs := gadget.Mine(bin, isa.X86, 0)
+	s := gadget.Summarize(gs)
+	if s.Unaligned == 0 {
+		t.Fatal("no unaligned (unintentional) gadgets on a variable-length ISA")
+	}
+	// ARM's aligned decoding admits no unaligned starts at all.
+	as := gadget.Summarize(gadget.Mine(bin, isa.ARM, 0))
+	if as.Unaligned != 0 {
+		t.Fatalf("ARM reported %d unaligned gadgets", as.Unaligned)
+	}
+}
+
+func TestNativeEffectFindsPops(t *testing.T) {
+	bin, err := compiler.Compile(testprogs.GadgetRich(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := gadget.Mine(bin, isa.X86, 0)
+	an := gadget.NewAnalyzer(bin)
+	viable := 0
+	popRegs := map[isa.Reg]bool{}
+	for i := range gs {
+		e := an.NativeEffect(&gs[i])
+		if e.Viable() {
+			viable++
+			for r := range e.Pops {
+				popRegs[r] = true
+			}
+		}
+	}
+	if viable == 0 {
+		t.Fatal("no viable gadgets — epilogues alone should provide pops")
+	}
+	if len(popRegs) == 0 {
+		t.Fatal("no registers populated")
+	}
+	t.Logf("%d/%d viable, regs %v", viable, len(gs), popRegs)
+}
+
+func TestPSRObfuscatesMostGadgets(t *testing.T) {
+	// The Figure 3 mechanism: under PSR translation, the overwhelming
+	// majority of gadgets stop doing what the attacker intended.
+	bin, err2 := compiler.Compile(testprogs.GadgetRich(15))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	gs := gadget.Mine(bin, isa.X86, 0)
+	an := gadget.NewAnalyzer(bin)
+	cfg := dbt.DefaultConfig()
+	cfg.MigrateProb = 0
+	vm, err := dbt.New(bin, isa.X86, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, same := 0, 0
+	for i := range gs {
+		native := an.NativeEffect(&gs[i])
+		if !native.Viable() {
+			continue
+		}
+		total++
+		translated := gadget.TranslatedEffect(vm, &gs[i])
+		if native.SameOutcome(translated) {
+			same++
+		}
+	}
+	if total == 0 {
+		t.Skip("no viable gadgets to compare")
+	}
+	frac := float64(same) / float64(total)
+	t.Logf("unobfuscated fraction: %d/%d = %.1f%%", same, total, frac*100)
+	if frac > 0.25 {
+		t.Fatalf("PSR left %.0f%% of gadgets unobfuscated; expected a small minority", frac*100)
+	}
+}
+
+func TestEffectParamsPositive(t *testing.T) {
+	bin := binFor(t, "sumloop")
+	gs := gadget.Mine(bin, isa.X86, 0)
+	an := gadget.NewAnalyzer(bin)
+	for i := range gs {
+		e := an.NativeEffect(&gs[i])
+		if e.Viable() && e.Params() < 2 {
+			t.Fatalf("viable gadget %s with %d params", gs[i].String(), e.Params())
+		}
+	}
+}
+
+func TestPatternSlot(t *testing.T) {
+	if gadget.PatternSlot(0xA77AC005) != 5 {
+		t.Fatal("pattern decode broken")
+	}
+	if gadget.PatternSlot(0x12345678) != -1 {
+		t.Fatal("non-pattern value matched")
+	}
+}

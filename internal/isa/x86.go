@@ -1,0 +1,935 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated = errors.New("isa: truncated instruction")
+	ErrInvalid   = errors.New("isa: invalid encoding")
+)
+
+// x86 opcode assignments (a faithful subset of IA-32's one-byte map; the
+// properties that matter to HIPStR — byte density, 0xC3 ret, ModRM memory
+// operands — are preserved).
+const (
+	xopAddMR  = 0x01
+	xopAddRM  = 0x03
+	xopOrMR   = 0x09
+	xopOrRM   = 0x0B
+	xopAndMR  = 0x21
+	xopAndRM  = 0x23
+	xopSubMR  = 0x29
+	xopSubRM  = 0x2B
+	xopXorMR  = 0x31
+	xopXorRM  = 0x33
+	xopCmpMR  = 0x39
+	xopCmpRM  = 0x3B
+	xopInc    = 0x40 // +r
+	xopDec    = 0x48 // +r
+	xopPush   = 0x50 // +r
+	xopPop    = 0x58 // +r
+	xopPushI  = 0x68
+	xopJccS   = 0x70 // +cc, rel8
+	xopGrpI32 = 0x81 // /ext, imm32
+	xopGrpI8  = 0x83 // /ext, imm8
+	xopTestMR = 0x85
+	xopMovMR  = 0x89
+	xopMovRM  = 0x8B
+	xopLea    = 0x8D
+	xopPopM   = 0x8F // /0
+	xopNop    = 0x90
+	xopMovRI  = 0xB8 // +r, imm32
+	xopShGrp  = 0xC1 // /4 shl imm8, /5 shr imm8
+	xopRet    = 0xC3
+	xopMovMI  = 0xC7 // /0, imm32
+	xopLeave  = 0xC9
+	xopInt    = 0xCD
+	xopShCL   = 0xD3 // /4 shl cl, /5 shr cl
+	xopCall   = 0xE8
+	xopJmp    = 0xE9
+	xopJmpS   = 0xEB
+	xopF7     = 0xF7 // /2 not, /3 neg, /4 mul, /6 div
+	xopHlt    = 0xF4
+	xopFF     = 0xFF // /2 call r/m, /4 jmp r/m, /6 push r/m
+	xopTwo    = 0x0F // two-byte escape: 0x80+cc Jcc rel32, 0xAF imul
+)
+
+// condCC maps Cond to the x86 condition-code nibble used by 0x70+cc and
+// 0x0F 0x80+cc.
+var condCC = map[Cond]byte{
+	CondB: 0x2, CondAE: 0x3, CondEQ: 0x4, CondNE: 0x5,
+	CondLT: 0xC, CondGE: 0xD, CondLE: 0xE, CondGT: 0xF,
+}
+
+var ccCond = func() map[byte]Cond {
+	m := make(map[byte]Cond, len(condCC))
+	for c, cc := range condCC {
+		m[cc] = c
+	}
+	return m
+}()
+
+// encodeModRM encodes a ModRM (and, when needed, SIB and displacement)
+// byte sequence for register field reg and r/m operand rm.
+func encodeModRM(reg byte, rm Operand) ([]byte, error) {
+	switch rm.Kind {
+	case OpdReg:
+		if rm.Reg > 7 {
+			return nil, fmt.Errorf("%w: x86 register %d", ErrInvalid, rm.Reg)
+		}
+		return []byte{0xC0 | reg<<3 | byte(rm.Reg)}, nil
+	case OpdMem:
+		m := rm.Mem
+		// Absolute (no base, no index): mod=00 rm=101 disp32.
+		if !m.HasBase && !m.HasIndex {
+			out := []byte{reg<<3 | 0x05, 0, 0, 0, 0}
+			binary.LittleEndian.PutUint32(out[1:], uint32(m.Disp))
+			return out, nil
+		}
+		needSIB := m.HasIndex || (m.HasBase && m.Base == ESP)
+		var mod byte
+		var disp []byte
+		// mod=00 with base EBP means disp32-only in this encoding, so a
+		// plain [ebp] must be expressed as [ebp+0] with a disp8.
+		zeroDispOK := !(m.HasBase && m.Base == EBP)
+		switch {
+		case m.Disp == 0 && zeroDispOK:
+			mod = 0x00
+		case m.Disp >= -128 && m.Disp <= 127:
+			mod = 0x40
+			disp = []byte{byte(int8(m.Disp))}
+		default:
+			mod = 0x80
+			disp = make([]byte, 4)
+			binary.LittleEndian.PutUint32(disp, uint32(m.Disp))
+		}
+		if !needSIB {
+			if m.Base > 7 {
+				return nil, fmt.Errorf("%w: x86 base register %d", ErrInvalid, m.Base)
+			}
+			out := []byte{mod | reg<<3 | byte(m.Base)}
+			return append(out, disp...), nil
+		}
+		// SIB form.
+		var scale byte
+		switch m.Scale {
+		case 0, 1:
+			scale = 0
+		case 2:
+			scale = 1
+		case 4:
+			scale = 2
+		case 8:
+			scale = 3
+		default:
+			return nil, fmt.Errorf("%w: scale %d", ErrInvalid, m.Scale)
+		}
+		index := byte(4) // none
+		if m.HasIndex {
+			if m.Index == ESP || m.Index > 7 {
+				return nil, fmt.Errorf("%w: x86 index register %d", ErrInvalid, m.Index)
+			}
+			index = byte(m.Index)
+		}
+		base := byte(5)
+		if m.HasBase {
+			if m.Base > 7 {
+				return nil, fmt.Errorf("%w: x86 base register %d", ErrInvalid, m.Base)
+			}
+			base = byte(m.Base)
+		} else {
+			// No base with SIB requires mod=00 and a disp32.
+			mod = 0x00
+			disp = make([]byte, 4)
+			binary.LittleEndian.PutUint32(disp, uint32(m.Disp))
+		}
+		if m.HasBase && m.Base == EBP && mod == 0x00 {
+			mod = 0x40
+			disp = []byte{0}
+		}
+		out := []byte{mod | reg<<3 | 0x04, scale<<6 | index<<3 | base}
+		return append(out, disp...), nil
+	default:
+		return nil, fmt.Errorf("%w: bad r/m operand kind %d", ErrInvalid, rm.Kind)
+	}
+}
+
+var x86GrpExt = map[Op]byte{OpAdd: 0, OpOr: 1, OpAnd: 4, OpSub: 5, OpXor: 6, OpCmp: 7}
+var x86GrpOp = map[byte]Op{0: OpAdd, 1: OpOr, 4: OpAnd, 5: OpSub, 6: OpXor, 7: OpCmp}
+
+var x86ALUMR = map[Op]byte{
+	OpAdd: xopAddMR, OpOr: xopOrMR, OpAnd: xopAndMR,
+	OpSub: xopSubMR, OpXor: xopXorMR, OpCmp: xopCmpMR,
+}
+var x86ALURM = map[Op]byte{
+	OpAdd: xopAddRM, OpOr: xopOrRM, OpAnd: xopAndRM,
+	OpSub: xopSubRM, OpXor: xopXorRM, OpCmp: xopCmpRM,
+}
+
+func imm32(v int32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, uint32(v))
+	return b
+}
+
+// Byte-form ALU opcode pairs (op r/m8, r8) and (op r8, r/m8).
+var x86ByteMR = map[Op]byte{
+	OpAdd: 0x00, OpOr: 0x08, OpAnd: 0x20, OpSub: 0x28, OpXor: 0x30,
+	OpCmp: 0x38, OpMov: 0x88,
+}
+var x86ByteRM = map[Op]byte{
+	OpAdd: 0x02, OpOr: 0x0A, OpAnd: 0x22, OpSub: 0x2A, OpXor: 0x32,
+	OpCmp: 0x3A, OpMov: 0x8A,
+}
+
+// x86ByteALImm maps "op al, imm8" single-byte opcodes.
+var x86ByteALImm = map[byte]Op{
+	0x04: OpAdd, 0x0C: OpOr, 0x24: OpAnd, 0x2C: OpSub, 0x34: OpXor, 0x3C: OpCmp,
+}
+
+func isByteALImm(op byte) bool {
+	_, ok := x86ByteALImm[op]
+	return ok
+}
+
+// Decoder-side byte ALU maps (inverse of x86ByteMR/RM).
+var byteMROp = map[byte]Op{
+	0x00: OpAdd, 0x08: OpOr, 0x20: OpAnd, 0x28: OpSub, 0x30: OpXor,
+	0x38: OpCmp, 0x88: OpMov,
+}
+var byteRMOp = map[byte]Op{
+	0x02: OpAdd, 0x0A: OpOr, 0x22: OpAnd, 0x2A: OpSub, 0x32: OpXor,
+	0x3A: OpCmp, 0x8A: OpMov,
+}
+
+// encodeX86Byte handles the 8-bit operand forms.
+func encodeX86Byte(in *Inst) ([]byte, error) {
+	cat := func(op byte, modrm []byte, tail ...byte) []byte {
+		out := append([]byte{op}, modrm...)
+		return append(out, tail...)
+	}
+	switch {
+	case in.Op == OpMov && in.Dst.Kind == OpdReg && in.Src.Kind == OpdImm:
+		if in.Dst.Reg > 7 {
+			return nil, fmt.Errorf("%w: mov8 register", ErrInvalid)
+		}
+		return []byte{0xB0 + byte(in.Dst.Reg), byte(in.Src.Imm)}, nil
+	case in.Src.Kind == OpdImm:
+		if in.Dst.IsReg(EAX) {
+			if op1, ok := map[Op]byte{OpAdd: 0x04, OpOr: 0x0C, OpAnd: 0x24,
+				OpSub: 0x2C, OpXor: 0x34, OpCmp: 0x3C}[in.Op]; ok {
+				return []byte{op1, byte(in.Src.Imm)}, nil
+			}
+		}
+		ext, ok := x86GrpExt[in.Op]
+		if !ok {
+			return nil, fmt.Errorf("%w: byte group op %s", ErrInvalid, in.Op)
+		}
+		modrm, err := encodeModRM(ext, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return cat(0x80, modrm, byte(in.Src.Imm)), nil
+	case in.Dst.Kind == OpdReg && in.Src.Kind != OpdReg:
+		op, ok := x86ByteRM[in.Op]
+		if !ok {
+			return nil, fmt.Errorf("%w: byte rm op %s", ErrInvalid, in.Op)
+		}
+		modrm, err := encodeModRM(byte(in.Dst.Reg), in.Src)
+		if err != nil {
+			return nil, err
+		}
+		return cat(op, modrm), nil
+	case in.Src.Kind == OpdReg:
+		op, ok := x86ByteMR[in.Op]
+		if !ok {
+			return nil, fmt.Errorf("%w: byte mr op %s", ErrInvalid, in.Op)
+		}
+		modrm, err := encodeModRM(byte(in.Src.Reg), in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return cat(op, modrm), nil
+	}
+	return nil, fmt.Errorf("%w: byte operand shape", ErrInvalid)
+}
+
+// EncodeX86 encodes in into its x86 byte representation. Direct control
+// transfers are encoded with rel32 displacements computed from in.Addr
+// (the address the instruction will be placed at) and in.Target.
+func EncodeX86(in *Inst) ([]byte, error) {
+	if in.ByteOp {
+		return encodeX86Byte(in)
+	}
+	cat := func(op byte, modrm []byte, tail ...byte) []byte {
+		out := append([]byte{op}, modrm...)
+		return append(out, tail...)
+	}
+	switch in.Op {
+	case OpNop:
+		return []byte{xopNop}, nil
+	case OpHlt:
+		return []byte{xopHlt}, nil
+	case OpRet:
+		if in.Imm > 0 {
+			return []byte{0xC2, byte(in.Imm), byte(in.Imm >> 8)}, nil
+		}
+		return []byte{xopRet}, nil
+	case OpLeave:
+		return []byte{xopLeave}, nil
+	case OpSys:
+		return []byte{xopInt, byte(in.Imm)}, nil
+	case OpInc, OpDec:
+		if in.Dst.Kind != OpdReg || in.Dst.Reg > 7 {
+			return nil, fmt.Errorf("%w: inc/dec needs x86 register dst", ErrInvalid)
+		}
+		base := byte(xopInc)
+		if in.Op == OpDec {
+			base = xopDec
+		}
+		return []byte{base + byte(in.Dst.Reg)}, nil
+	case OpPush:
+		switch in.Src.Kind {
+		case OpdReg:
+			if in.Src.Reg > 7 {
+				return nil, fmt.Errorf("%w: push register %d", ErrInvalid, in.Src.Reg)
+			}
+			return []byte{xopPush + byte(in.Src.Reg)}, nil
+		case OpdImm:
+			return append([]byte{xopPushI}, imm32(in.Src.Imm)...), nil
+		case OpdMem:
+			modrm, err := encodeModRM(6, in.Src)
+			if err != nil {
+				return nil, err
+			}
+			return cat(xopFF, modrm), nil
+		}
+		return nil, fmt.Errorf("%w: push operand", ErrInvalid)
+	case OpPop:
+		switch in.Dst.Kind {
+		case OpdReg:
+			if in.Dst.Reg > 7 {
+				return nil, fmt.Errorf("%w: pop register %d", ErrInvalid, in.Dst.Reg)
+			}
+			return []byte{xopPop + byte(in.Dst.Reg)}, nil
+		case OpdMem:
+			modrm, err := encodeModRM(0, in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return cat(xopPopM, modrm), nil
+		}
+		return nil, fmt.Errorf("%w: pop operand", ErrInvalid)
+	case OpMov:
+		switch {
+		case in.Dst.Kind == OpdReg && in.Src.Kind == OpdImm:
+			if in.Dst.Reg > 7 {
+				return nil, fmt.Errorf("%w: mov register %d", ErrInvalid, in.Dst.Reg)
+			}
+			return append([]byte{xopMovRI + byte(in.Dst.Reg)}, imm32(in.Src.Imm)...), nil
+		case in.Src.Kind == OpdImm:
+			modrm, err := encodeModRM(0, in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return cat(xopMovMI, modrm, imm32(in.Src.Imm)...), nil
+		case in.Dst.Kind == OpdReg && in.Src.Kind != OpdReg:
+			modrm, err := encodeModRM(byte(in.Dst.Reg), in.Src)
+			if err != nil {
+				return nil, err
+			}
+			return cat(xopMovRM, modrm), nil
+		case in.Src.Kind == OpdReg:
+			modrm, err := encodeModRM(byte(in.Src.Reg), in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return cat(xopMovMR, modrm), nil
+		}
+		return nil, fmt.Errorf("%w: mov mem,mem", ErrInvalid)
+	case OpLea:
+		if in.Dst.Kind != OpdReg || in.Src.Kind != OpdMem {
+			return nil, fmt.Errorf("%w: lea operands", ErrInvalid)
+		}
+		modrm, err := encodeModRM(byte(in.Dst.Reg), in.Src)
+		if err != nil {
+			return nil, err
+		}
+		return cat(xopLea, modrm), nil
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpCmp:
+		if in.Src.Kind == OpdImm {
+			ext := x86GrpExt[in.Op]
+			modrm, err := encodeModRM(ext, in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			if in.Src.Imm >= -128 && in.Src.Imm <= 127 {
+				return cat(xopGrpI8, modrm, byte(int8(in.Src.Imm))), nil
+			}
+			return cat(xopGrpI32, modrm, imm32(in.Src.Imm)...), nil
+		}
+		if in.Dst.Kind == OpdReg && in.Src.Kind == OpdMem {
+			modrm, err := encodeModRM(byte(in.Dst.Reg), in.Src)
+			if err != nil {
+				return nil, err
+			}
+			return cat(x86ALURM[in.Op], modrm), nil
+		}
+		if in.Src.Kind == OpdReg {
+			modrm, err := encodeModRM(byte(in.Src.Reg), in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return cat(x86ALUMR[in.Op], modrm), nil
+		}
+		return nil, fmt.Errorf("%w: %s operands", ErrInvalid, in.Op)
+	case OpTest:
+		if in.Src.Kind != OpdReg {
+			return nil, fmt.Errorf("%w: test needs register src", ErrInvalid)
+		}
+		modrm, err := encodeModRM(byte(in.Src.Reg), in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return cat(xopTestMR, modrm), nil
+	case OpShl, OpShr:
+		ext := byte(4)
+		if in.Op == OpShr {
+			ext = 5
+		}
+		modrm, err := encodeModRM(ext, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if in.Src.Kind == OpdImm {
+			return cat(xopShGrp, modrm, byte(in.Src.Imm)), nil
+		}
+		if in.Src.IsReg(ECX) {
+			return cat(xopShCL, modrm), nil
+		}
+		return nil, fmt.Errorf("%w: shift count must be imm or cl", ErrInvalid)
+	case OpMul:
+		if in.Dst.Kind == OpdReg && in.Src.Kind == OpdImm {
+			// imul r, r/m, imm: r = r/m * imm (r/m defaults to dst).
+			rm := in.Src2
+			if rm.Kind == OpdNone {
+				rm = in.Dst
+			}
+			modrm, err := encodeModRM(byte(in.Dst.Reg), rm)
+			if err != nil {
+				return nil, err
+			}
+			if in.Src.Imm >= -128 && in.Src.Imm <= 127 {
+				return cat(0x6B, modrm, byte(int8(in.Src.Imm))), nil
+			}
+			return cat(0x69, modrm, imm32(in.Src.Imm)...), nil
+		}
+		if in.Dst.Kind == OpdReg {
+			modrm, err := encodeModRM(byte(in.Dst.Reg), in.Src)
+			if err != nil {
+				return nil, err
+			}
+			return append([]byte{xopTwo, 0xAF}, modrm...), nil
+		}
+		return nil, fmt.Errorf("%w: imul needs register dst", ErrInvalid)
+	case OpDiv:
+		modrm, err := encodeModRM(6, in.Src)
+		if err != nil {
+			return nil, err
+		}
+		return cat(xopF7, modrm), nil
+	case OpNeg:
+		modrm, err := encodeModRM(3, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return cat(xopF7, modrm), nil
+	case OpNot:
+		modrm, err := encodeModRM(2, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return cat(xopF7, modrm), nil
+	case OpJmp:
+		rel := int32(in.Target) - int32(in.Addr) - 5
+		return append([]byte{xopJmp}, imm32(rel)...), nil
+	case OpCall:
+		rel := int32(in.Target) - int32(in.Addr) - 5
+		return append([]byte{xopCall}, imm32(rel)...), nil
+	case OpJcc:
+		cc, ok := condCC[in.Cond]
+		if !ok {
+			return nil, fmt.Errorf("%w: jcc condition %s", ErrInvalid, in.Cond)
+		}
+		rel := int32(in.Target) - int32(in.Addr) - 6
+		return append([]byte{xopTwo, 0x80 + cc}, imm32(rel)...), nil
+	case OpJmpI:
+		modrm, err := encodeModRM(4, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return cat(xopFF, modrm), nil
+	case OpCallI:
+		modrm, err := encodeModRM(2, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return cat(xopFF, modrm), nil
+	}
+	return nil, fmt.Errorf("%w: op %s not encodable on x86", ErrInvalid, in.Op)
+}
+
+// decodeModRM decodes a ModRM byte sequence starting at b[0], returning the
+// reg field, the r/m operand, and the number of bytes consumed.
+func decodeModRM(b []byte) (reg byte, rm Operand, n int, err error) {
+	if len(b) < 1 {
+		return 0, Operand{}, 0, ErrTruncated
+	}
+	modrm := b[0]
+	mod := modrm >> 6
+	reg = modrm >> 3 & 7
+	rmf := modrm & 7
+	n = 1
+	if mod == 3 {
+		return reg, R(Reg(rmf)), n, nil
+	}
+	var m MemRef
+	if rmf == 4 { // SIB
+		if len(b) < 2 {
+			return 0, Operand{}, 0, ErrTruncated
+		}
+		sib := b[1]
+		n = 2
+		scale := sib >> 6
+		index := sib >> 3 & 7
+		base := sib & 7
+		if index != 4 {
+			m.HasIndex = true
+			m.Index = Reg(index)
+			m.Scale = 1 << scale
+		}
+		if base == 5 && mod == 0 {
+			if len(b) < n+4 {
+				return 0, Operand{}, 0, ErrTruncated
+			}
+			m.Disp = int32(binary.LittleEndian.Uint32(b[n:]))
+			n += 4
+			return reg, M(m), n, nil
+		}
+		m.HasBase = true
+		m.Base = Reg(base)
+	} else if mod == 0 && rmf == 5 {
+		if len(b) < n+4 {
+			return 0, Operand{}, 0, ErrTruncated
+		}
+		m.Disp = int32(binary.LittleEndian.Uint32(b[n:]))
+		n += 4
+		return reg, M(m), n, nil
+	} else {
+		m.HasBase = true
+		m.Base = Reg(rmf)
+	}
+	switch mod {
+	case 1:
+		if len(b) < n+1 {
+			return 0, Operand{}, 0, ErrTruncated
+		}
+		m.Disp = int32(int8(b[n]))
+		n++
+	case 2:
+		if len(b) < n+4 {
+			return 0, Operand{}, 0, ErrTruncated
+		}
+		m.Disp = int32(binary.LittleEndian.Uint32(b[n:]))
+		n += 4
+	}
+	return reg, M(m), n, nil
+}
+
+// DecodeX86 decodes one instruction from b, which holds the bytes at
+// address addr. It returns ErrInvalid for undefined encodings and
+// ErrTruncated when b ends mid-instruction.
+func DecodeX86(b []byte, addr uint32) (Inst, error) {
+	in := Inst{ISA: X86, Addr: addr, Cond: CondAlways}
+	if len(b) == 0 {
+		return in, ErrTruncated
+	}
+	op := b[0]
+	need := func(n int) error {
+		if len(b) < n {
+			return ErrTruncated
+		}
+		return nil
+	}
+	fin := func(n int) (Inst, error) {
+		in.Size = uint8(n)
+		return in, nil
+	}
+	switch {
+	case op == xopNop:
+		in.Op = OpNop
+		return fin(1)
+	case op == xopHlt:
+		in.Op = OpHlt
+		return fin(1)
+	case op == xopRet:
+		in.Op = OpRet
+		return fin(1)
+	case op == 0xC2: // ret imm16: pop return address, then free imm bytes
+		if err := need(3); err != nil {
+			return in, err
+		}
+		in.Op = OpRet
+		in.Imm = int32(binary.LittleEndian.Uint16(b[1:]))
+		return fin(3)
+	case op == 0xF8 || op == 0xF9 || op == 0xFC || op == 0xFD || op == 0x98:
+		// Flag/width manipulation without modeled effect.
+		in.Op = OpNop
+		return fin(1)
+	case op >= 0xB0 && op < 0xB8: // mov r8, imm8
+		if err := need(2); err != nil {
+			return in, err
+		}
+		in.Op = OpMov
+		in.ByteOp = true
+		in.Dst = R(Reg(op - 0xB0))
+		in.Src = I(int32(b[1]))
+		return fin(2)
+	case x86ByteALImm[op] != OpInvalid && isByteALImm(op):
+		if err := need(2); err != nil {
+			return in, err
+		}
+		in.Op = x86ByteALImm[op]
+		in.ByteOp = true
+		in.Dst = R(EAX)
+		in.Src = I(int32(b[1]))
+		return fin(2)
+	case op == 0x80: // byte group: op r/m8, imm8
+		ext, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		o, ok := x86GrpOp[ext]
+		if !ok {
+			return in, ErrInvalid
+		}
+		if err := need(1 + n + 1); err != nil {
+			return in, err
+		}
+		in.Op = o
+		in.ByteOp = true
+		in.Dst = rm
+		in.Src = I(int32(b[1+n]))
+		return fin(1 + n + 1)
+	case op == xopLeave:
+		in.Op = OpLeave
+		return fin(1)
+	case op == xopInt:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		in.Op = OpSys
+		in.Imm = int32(b[1])
+		return fin(2)
+	case op >= xopInc && op < xopInc+8:
+		in.Op = OpInc
+		in.Dst = R(Reg(op - xopInc))
+		return fin(1)
+	case op >= xopDec && op < xopDec+8:
+		in.Op = OpDec
+		in.Dst = R(Reg(op - xopDec))
+		return fin(1)
+	case op >= xopPush && op < xopPush+8:
+		in.Op = OpPush
+		in.Src = R(Reg(op - xopPush))
+		return fin(1)
+	case op >= xopPop && op < xopPop+8:
+		in.Op = OpPop
+		in.Dst = R(Reg(op - xopPop))
+		return fin(1)
+	case op == xopPushI:
+		if err := need(5); err != nil {
+			return in, err
+		}
+		in.Op = OpPush
+		in.Src = I(int32(binary.LittleEndian.Uint32(b[1:])))
+		return fin(5)
+	case op >= xopJccS && op < xopJccS+16:
+		cond, ok := ccCond[op-xopJccS]
+		if !ok {
+			return in, ErrInvalid
+		}
+		if err := need(2); err != nil {
+			return in, err
+		}
+		in.Op = OpJcc
+		in.Cond = cond
+		in.Target = addr + 2 + uint32(int32(int8(b[1])))
+		return fin(2)
+	case op >= xopMovRI && op < xopMovRI+8:
+		if err := need(5); err != nil {
+			return in, err
+		}
+		in.Op = OpMov
+		in.Dst = R(Reg(op - xopMovRI))
+		in.Src = I(int32(binary.LittleEndian.Uint32(b[1:])))
+		return fin(5)
+	case op == xopJmpS:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		in.Op = OpJmp
+		in.Target = addr + 2 + uint32(int32(int8(b[1])))
+		return fin(2)
+	case op == xopJmp:
+		if err := need(5); err != nil {
+			return in, err
+		}
+		in.Op = OpJmp
+		in.Target = addr + 5 + uint32(int32(binary.LittleEndian.Uint32(b[1:])))
+		return fin(5)
+	case op == xopCall:
+		if err := need(5); err != nil {
+			return in, err
+		}
+		in.Op = OpCall
+		in.Target = addr + 5 + uint32(int32(binary.LittleEndian.Uint32(b[1:])))
+		return fin(5)
+	case op == xopTwo:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		op2 := b[1]
+		switch {
+		case op2 >= 0x80 && op2 < 0x90:
+			cond, ok := ccCond[op2-0x80]
+			if !ok {
+				return in, ErrInvalid
+			}
+			if err := need(6); err != nil {
+				return in, err
+			}
+			in.Op = OpJcc
+			in.Cond = cond
+			in.Target = addr + 6 + uint32(int32(binary.LittleEndian.Uint32(b[2:])))
+			return fin(6)
+		case op2 == 0xAF:
+			reg, rm, n, err := decodeModRM(b[2:])
+			if err != nil {
+				return in, err
+			}
+			in.Op = OpMul
+			in.Dst = R(Reg(reg))
+			in.Src = rm
+			return fin(2 + n)
+		}
+		return in, ErrInvalid
+	}
+	switch op {
+	case 0x6B, 0x69: // imul r, r/m, imm
+		reg, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		in.Op = OpMul
+		in.Dst = R(Reg(reg))
+		in.Src2 = rm
+		if op == 0x6B {
+			if err := need(1 + n + 1); err != nil {
+				return in, err
+			}
+			in.Src = I(int32(int8(b[1+n])))
+			return fin(1 + n + 1)
+		}
+		if err := need(1 + n + 4); err != nil {
+			return in, err
+		}
+		in.Src = I(int32(binary.LittleEndian.Uint32(b[1+n:])))
+		return fin(1 + n + 4)
+	}
+	// Byte-form ModRM ALU (op r/m8, r8) / (op r8, r/m8) — including the
+	// all-zeros encoding 00 /r, the densest source of unintentional
+	// gadgets in real x86 binaries.
+	if o, ok := byteMROp[op]; ok {
+		reg, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		in.Op = o
+		in.ByteOp = true
+		in.Dst = rm
+		in.Src = R(Reg(reg))
+		return fin(1 + n)
+	}
+	if o, ok := byteRMOp[op]; ok {
+		reg, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		in.Op = o
+		in.ByteOp = true
+		in.Dst = R(Reg(reg))
+		in.Src = rm
+		return fin(1 + n)
+	}
+	// ModRM-based forms.
+	aluRM := map[byte]Op{xopAddRM: OpAdd, xopOrRM: OpOr, xopAndRM: OpAnd,
+		xopSubRM: OpSub, xopXorRM: OpXor, xopCmpRM: OpCmp, xopMovRM: OpMov}
+	aluMR := map[byte]Op{xopAddMR: OpAdd, xopOrMR: OpOr, xopAndMR: OpAnd,
+		xopSubMR: OpSub, xopXorMR: OpXor, xopCmpMR: OpCmp, xopMovMR: OpMov,
+		xopTestMR: OpTest}
+	if o, ok := aluRM[op]; ok {
+		reg, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		in.Op = o
+		in.Dst = R(Reg(reg))
+		in.Src = rm
+		return fin(1 + n)
+	}
+	if o, ok := aluMR[op]; ok {
+		reg, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		in.Op = o
+		in.Dst = rm
+		in.Src = R(Reg(reg))
+		return fin(1 + n)
+	}
+	switch op {
+	case xopLea:
+		reg, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		if rm.Kind != OpdMem {
+			return in, ErrInvalid
+		}
+		in.Op = OpLea
+		in.Dst = R(Reg(reg))
+		in.Src = rm
+		return fin(1 + n)
+	case xopGrpI8, xopGrpI32:
+		ext, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		o, ok := x86GrpOp[ext]
+		if !ok {
+			return in, ErrInvalid
+		}
+		in.Op = o
+		in.Dst = rm
+		if op == xopGrpI8 {
+			if err := need(1 + n + 1); err != nil {
+				return in, err
+			}
+			in.Src = I(int32(int8(b[1+n])))
+			return fin(1 + n + 1)
+		}
+		if err := need(1 + n + 4); err != nil {
+			return in, err
+		}
+		in.Src = I(int32(binary.LittleEndian.Uint32(b[1+n:])))
+		return fin(1 + n + 4)
+	case xopMovMI:
+		ext, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		if ext != 0 {
+			return in, ErrInvalid
+		}
+		if err := need(1 + n + 4); err != nil {
+			return in, err
+		}
+		in.Op = OpMov
+		in.Dst = rm
+		in.Src = I(int32(binary.LittleEndian.Uint32(b[1+n:])))
+		return fin(1 + n + 4)
+	case xopShGrp, xopShCL:
+		ext, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		switch ext {
+		case 4:
+			in.Op = OpShl
+		case 5:
+			in.Op = OpShr
+		default:
+			return in, ErrInvalid
+		}
+		in.Dst = rm
+		if op == xopShGrp {
+			if err := need(1 + n + 1); err != nil {
+				return in, err
+			}
+			in.Src = I(int32(b[1+n]))
+			return fin(1 + n + 1)
+		}
+		in.Src = R(ECX)
+		return fin(1 + n)
+	case xopF7:
+		ext, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		switch ext {
+		case 2:
+			in.Op = OpNot
+			in.Dst = rm
+		case 3:
+			in.Op = OpNeg
+			in.Dst = rm
+		case 4:
+			in.Op = OpMul
+			in.Dst = R(EAX)
+			in.Src = rm
+		case 6:
+			in.Op = OpDiv
+			in.Dst = R(EAX)
+			in.Src = rm
+		default:
+			return in, ErrInvalid
+		}
+		return fin(1 + n)
+	case xopFF:
+		ext, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		switch ext {
+		case 2:
+			in.Op = OpCallI
+			in.Dst = rm
+		case 4:
+			in.Op = OpJmpI
+			in.Dst = rm
+		case 6:
+			in.Op = OpPush
+			in.Src = rm
+		default:
+			return in, ErrInvalid
+		}
+		return fin(1 + n)
+	case xopPopM:
+		ext, rm, n, err := decodeModRM(b[1:])
+		if err != nil {
+			return in, err
+		}
+		if ext != 0 {
+			return in, ErrInvalid
+		}
+		in.Op = OpPop
+		in.Dst = rm
+		return fin(1 + n)
+	}
+	return in, ErrInvalid
+}

@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"testing"
+
+	"hipstr/internal/isa"
+)
+
+func TestByteOpsTouchOnlyLowByte(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EBX), Src: isa.I(0x11223344)})
+		a.Emit(isa.Inst{Op: isa.OpMov, ByteOp: true, Dst: isa.R(isa.EBX), Src: isa.I(0x7F)})
+		a.Emit(isa.Inst{Op: isa.OpAdd, ByteOp: true, Dst: isa.R(isa.EBX), Src: isa.I(1)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.EBX] != 0x11223380 {
+		t.Fatalf("ebx = %#x, want upper bytes preserved and low byte 0x80", m.Regs[isa.EBX])
+	}
+}
+
+func TestByteMemoryAccess(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.MB(isa.ESP, 8), Src: isa.I(0x11223344)})
+		// Write only the low byte through memory, then read a single byte
+		// back into a register whose upper bits must survive.
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.ECX), Src: isa.I(0x55)})
+		a.Emit(isa.Inst{Op: isa.OpMov, ByteOp: true, Dst: isa.MB(isa.ESP, 8), Src: isa.R(isa.ECX)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.MB(isa.ESP, 8)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EDX), Src: isa.I(0xAABBCC00 - 1<<31)})
+		a.Emit(isa.Inst{Op: isa.OpMov, ByteOp: true, Dst: isa.R(isa.EDX), Src: isa.MB(isa.ESP, 9)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.EAX] != 0x11223355 {
+		t.Fatalf("eax = %#x", m.Regs[isa.EAX])
+	}
+	if m.Regs[isa.EDX]&0xFF != 0x33 {
+		t.Fatalf("edx low byte = %#x, want 0x33", m.Regs[isa.EDX]&0xFF)
+	}
+}
+
+func TestByteCmpSetsFlags(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.I(0x1FF41)})
+		a.Emit(isa.Inst{Op: isa.OpCmp, ByteOp: true, Dst: isa.R(isa.EAX), Src: isa.I(0x41)})
+		a.Jcc(isa.CondEQ, "eq")
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EBX), Src: isa.I(0)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+		a.Label("eq")
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EBX), Src: isa.I(1)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.EBX] != 1 {
+		t.Fatal("byte compare ignored upper bits incorrectly")
+	}
+}
+
+func TestRetImmFreesStack(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpPush, Src: isa.I(0x1111)}) // callee arg
+		a.Call("fn")
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+		a.Label("fn")
+		a.Emit(isa.Inst{Op: isa.OpRet, Imm: 4}) // pop ret, free the arg
+	})
+	sp0 := m.SP()
+	mustRun(t, m)
+	if m.SP() != sp0 {
+		t.Fatalf("ret imm16 left stack imbalanced: %#x vs %#x", m.SP(), sp0)
+	}
+}

@@ -1,0 +1,371 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"hipstr/internal/isa"
+	"hipstr/internal/mem"
+)
+
+const (
+	textBase  = 0x08048000
+	stackTop  = 0x0800_0000
+	stackSize = 0x10000
+)
+
+// load assembles the program and returns a machine ready to run it.
+func load(t *testing.T, k isa.Kind, build func(a *isa.Asm)) (*Machine, map[string]uint32) {
+	t.Helper()
+	a := isa.NewAsm(k, textBase)
+	build(a)
+	code, labels, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	ram := mem.New()
+	ram.Map("text", textBase, uint32(len(code)+mem.PageSize), mem.PermRX)
+	ram.WriteForce(textBase, code)
+	ram.Map("stack", stackTop-stackSize, stackSize, mem.PermRW)
+	m := New(k, ram)
+	m.PC = textBase
+	m.SetSP(stackTop - 16)
+	return m, labels
+}
+
+func mustRun(t *testing.T, m *Machine) {
+	t.Helper()
+	if _, err := m.Run(100000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("program did not halt")
+	}
+}
+
+func TestX86Arithmetic(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.I(10)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EBX), Src: isa.I(3)})
+		a.Emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(isa.EAX), Src: isa.R(isa.EBX)}) // 13
+		a.Emit(isa.Inst{Op: isa.OpShl, Dst: isa.R(isa.EAX), Src: isa.I(2)})       // 52
+		a.Emit(isa.Inst{Op: isa.OpSub, Dst: isa.R(isa.EAX), Src: isa.I(2)})       // 50
+		a.Emit(isa.Inst{Op: isa.OpMul, Dst: isa.R(isa.EAX), Src: isa.R(isa.EBX)}) // 150
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	mustRun(t, m)
+	if got := m.Regs[isa.EAX]; got != 150 {
+		t.Fatalf("eax = %d, want 150", got)
+	}
+}
+
+func TestARMArithmetic(t *testing.T) {
+	m, _ := load(t, isa.ARM, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.R0), Src: isa.I(7)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.R1), Src: isa.I(5)})
+		a.Emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(isa.R2), Src: isa.R(isa.R1), Src2: isa.R(isa.R0)}) // 12
+		a.Emit(isa.Inst{Op: isa.OpRsb, Dst: isa.R(isa.R3), Src: isa.I(0), Src2: isa.R(isa.R2)})      // -12
+		a.Emit(isa.Inst{Op: isa.OpMul, Dst: isa.R(isa.R4), Src: isa.R(isa.R2), Src2: isa.R(isa.R1)}) // 60
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.R2] != 12 || int32(m.Regs[isa.R3]) != -12 || m.Regs[isa.R4] != 60 {
+		t.Fatalf("r2=%d r3=%d r4=%d", m.Regs[isa.R2], int32(m.Regs[isa.R3]), m.Regs[isa.R4])
+	}
+}
+
+func TestX86StackOps(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.ECX), Src: isa.I(0x1234)})
+		a.Emit(isa.Inst{Op: isa.OpPush, Src: isa.R(isa.ECX)})
+		a.Emit(isa.Inst{Op: isa.OpPop, Dst: isa.R(isa.EDX)})
+		a.Emit(isa.Inst{Op: isa.OpPush, Src: isa.I(0x77)})
+		a.Emit(isa.Inst{Op: isa.OpPop, Dst: isa.R(isa.ESI)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	sp0 := m.SP()
+	mustRun(t, m)
+	if m.Regs[isa.EDX] != 0x1234 || m.Regs[isa.ESI] != 0x77 {
+		t.Fatalf("edx=%#x esi=%#x", m.Regs[isa.EDX], m.Regs[isa.ESI])
+	}
+	if m.SP() != sp0 {
+		t.Fatalf("stack imbalance: %#x -> %#x", sp0, m.SP())
+	}
+}
+
+func TestX86MemoryAddressing(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		// Store through [esp+8], load back through base+index*4.
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.MB(isa.ESP, 8), Src: isa.I(0xBEEF)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EBX), Src: isa.R(isa.ESP)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.ECX), Src: isa.I(2)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX),
+			Src: isa.M(isa.MemRef{HasBase: true, Base: isa.EBX, HasIndex: true, Index: isa.ECX, Scale: 4})})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.EAX] != 0xBEEF {
+		t.Fatalf("eax=%#x want 0xbeef", m.Regs[isa.EAX])
+	}
+}
+
+func TestBranching(t *testing.T) {
+	for _, k := range isa.Kinds {
+		m, _ := load(t, k, func(a *isa.Asm) {
+			counter, limit := isa.R(0), isa.R(1)
+			a.Emit(isa.Inst{Op: isa.OpMov, Dst: counter, Src: isa.I(0)})
+			a.Emit(isa.Inst{Op: isa.OpMov, Dst: limit, Src: isa.I(10)})
+			a.Label("loop")
+			a.Emit(isa.Inst{Op: isa.OpAdd, Dst: counter, Src: isa.I(1)})
+			a.Emit(isa.Inst{Op: isa.OpCmp, Dst: counter, Src: limit})
+			a.Jcc(isa.CondLT, "loop")
+			a.Emit(isa.Inst{Op: isa.OpHlt})
+		})
+		mustRun(t, m)
+		if m.Regs[0] != 10 {
+			t.Fatalf("%s: counter=%d want 10", k, m.Regs[0])
+		}
+	}
+}
+
+func TestX86CallRet(t *testing.T) {
+	m, labels := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.I(1)})
+		a.Call("fn")
+		a.Emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(isa.EAX), Src: isa.I(100)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+		a.Label("fn")
+		a.Emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(isa.EAX), Src: isa.I(10)})
+		a.Emit(isa.Inst{Op: isa.OpRet})
+	})
+	_ = labels
+	mustRun(t, m)
+	if m.Regs[isa.EAX] != 111 {
+		t.Fatalf("eax=%d want 111", m.Regs[isa.EAX])
+	}
+}
+
+func TestARMCallReturnViaLR(t *testing.T) {
+	m, _ := load(t, isa.ARM, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.R0), Src: isa.I(1)})
+		a.Call("fn")
+		a.Emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(isa.R0), Src: isa.I(100)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+		a.Label("fn")
+		a.Emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(isa.R0), Src: isa.I(10)})
+		a.Emit(isa.Inst{Op: isa.OpBx, Dst: isa.R(isa.LR)})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.R0] != 111 {
+		t.Fatalf("r0=%d want 111", m.Regs[isa.R0])
+	}
+}
+
+func TestARMPushPopWithPC(t *testing.T) {
+	// A callee that saves LR with push and returns by popping into PC.
+	m, _ := load(t, isa.ARM, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.R4), Src: isa.I(5)})
+		a.Call("fn")
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+		a.Label("fn")
+		a.Emit(isa.Inst{Op: isa.OpPushM, RegMask: 1<<isa.R4 | 1<<isa.LR})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.R4), Src: isa.I(99)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.R0), Src: isa.R(isa.R4)})
+		a.Emit(isa.Inst{Op: isa.OpPopM, RegMask: 1<<isa.R4 | 1<<isa.PC})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.R0] != 99 {
+		t.Fatalf("r0=%d want 99", m.Regs[isa.R0])
+	}
+	if m.Regs[isa.R4] != 5 {
+		t.Fatalf("r4=%d want 5 (callee-save restored)", m.Regs[isa.R4])
+	}
+}
+
+func TestX86DivSemantics(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.I(17)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EBX), Src: isa.I(5)})
+		a.Emit(isa.Inst{Op: isa.OpDiv, Dst: isa.R(isa.EAX), Src: isa.R(isa.EBX)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.EAX] != 3 || m.Regs[isa.EDX] != 2 {
+		t.Fatalf("eax=%d edx=%d want 3,2", m.Regs[isa.EAX], m.Regs[isa.EDX])
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpXor, Dst: isa.R(isa.EBX), Src: isa.R(isa.EBX)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.I(1)})
+		a.Emit(isa.Inst{Op: isa.OpDiv, Dst: isa.R(isa.EAX), Src: isa.R(isa.EBX)})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	_, err := m.Run(100)
+	if !errors.Is(err, ErrDivZero) {
+		t.Fatalf("want ErrDivZero, got %v", err)
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.M(isa.MemRef{Disp: 0x40000000})})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	_, err := m.Run(100)
+	var f *mem.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want mem.Fault, got %v", err)
+	}
+	if f.Addr != 0x40000000 {
+		t.Fatalf("fault addr %#x", f.Addr)
+	}
+}
+
+func TestNonExecutableFetchFaults(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	m.PC = m.SP() // jump into the stack: mapped rw, not x
+	err := m.Step()
+	var f *mem.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want mem.Fault on NX fetch, got %v", err)
+	}
+}
+
+func TestControlHookRedirects(t *testing.T) {
+	m, labels := load(t, isa.X86, func(a *isa.Asm) {
+		a.Call("a")
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+		a.Label("a")
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.I(1)})
+		a.Emit(isa.Inst{Op: isa.OpRet})
+		a.Label("b")
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.I(2)})
+		a.Emit(isa.Inst{Op: isa.OpRet})
+	})
+	// Redirect the call from a to b, like the RAT redirecting through the
+	// code cache.
+	var sawCall, sawRet bool
+	m.OnControl = func(mm *Machine, in *isa.Inst, kind ControlKind, target, retAddr uint32) (uint32, uint32, error) {
+		switch kind {
+		case CtlCall:
+			sawCall = true
+			if target == labels["a"] {
+				return labels["b"], retAddr, nil
+			}
+		case CtlRet:
+			sawRet = true
+		}
+		return target, retAddr, nil
+	}
+	mustRun(t, m)
+	if !sawCall || !sawRet {
+		t.Fatalf("hooks not invoked: call=%v ret=%v", sawCall, sawRet)
+	}
+	if m.Regs[isa.EAX] != 2 {
+		t.Fatalf("eax=%d want 2 (redirected)", m.Regs[isa.EAX])
+	}
+}
+
+func TestSyscallHandler(t *testing.T) {
+	var got []uint32
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EAX), Src: isa.I(11)})
+		a.Emit(isa.Inst{Op: isa.OpSys, Imm: 0x80})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	m.Syscall = func(mm *Machine, vector int32) error {
+		got = append(got, uint32(vector), mm.Regs[isa.EAX])
+		return nil
+	}
+	mustRun(t, m)
+	if len(got) != 2 || got[0] != 0x80 || got[1] != 11 {
+		t.Fatalf("syscall saw %v", got)
+	}
+}
+
+func TestMissingSyscallHandler(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpSys, Imm: 0x80})
+	})
+	_, err := m.Run(10)
+	if !errors.Is(err, ErrNoSyscall) {
+		t.Fatalf("want ErrNoSyscall, got %v", err)
+	}
+}
+
+func TestFlagsConditions(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		cond isa.Cond
+		want bool
+	}{
+		{5, 5, isa.CondEQ, true},
+		{5, 6, isa.CondEQ, false},
+		{5, 6, isa.CondNE, true},
+		{5, 6, isa.CondLT, true},
+		{6, 5, isa.CondLT, false},
+		{0xFFFFFFFF, 1, isa.CondLT, true}, // -1 < 1 signed
+		{0xFFFFFFFF, 1, isa.CondB, false}, // huge unsigned
+		{1, 0xFFFFFFFF, isa.CondB, true},  // 1 below huge unsigned
+		{7, 7, isa.CondGE, true},
+		{7, 7, isa.CondLE, true},
+		{8, 7, isa.CondGT, true},
+	}
+	for _, c := range cases {
+		var m Machine
+		m.cmpFlags(c.a, c.b)
+		if got := m.Flags.Eval(c.cond); got != c.want {
+			t.Errorf("cmp(%#x,%#x) %s = %v, want %v", c.a, c.b, c.cond, got, c.want)
+		}
+	}
+}
+
+func TestLeave(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Emit(isa.Inst{Op: isa.OpPush, Src: isa.R(isa.EBP)})
+		a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(isa.EBP), Src: isa.R(isa.ESP)})
+		a.Emit(isa.Inst{Op: isa.OpSub, Dst: isa.R(isa.ESP), Src: isa.I(0x40)})
+		a.Emit(isa.Inst{Op: isa.OpLeave})
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	m.Regs[isa.EBP] = 0xAABB
+	sp0 := m.SP()
+	mustRun(t, m)
+	if m.SP() != sp0 {
+		t.Fatalf("leave did not rebalance stack: %#x vs %#x", m.SP(), sp0)
+	}
+	if m.Regs[isa.EBP] != 0xAABB {
+		t.Fatalf("ebp=%#x not restored", m.Regs[isa.EBP])
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	m, _ := load(t, isa.X86, func(a *isa.Asm) {
+		a.Label("spin")
+		a.Jmp("spin")
+	})
+	n, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("executed %d, want 1000", n)
+	}
+}
+
+func TestMovtBuildsConstant(t *testing.T) {
+	m, _ := load(t, isa.ARM, func(a *isa.Asm) {
+		for _, in := range isa.MaterializeARMConst(isa.R5, 0xDEADBEEF) {
+			a.Emit(in)
+		}
+		a.Emit(isa.Inst{Op: isa.OpHlt})
+	})
+	mustRun(t, m)
+	if m.Regs[isa.R5] != 0xDEADBEEF {
+		t.Fatalf("r5=%#x want 0xdeadbeef", m.Regs[isa.R5])
+	}
+}

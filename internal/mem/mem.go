@@ -1,0 +1,279 @@
+// Package mem provides the sparse, permission-checked 32-bit address space
+// shared by both cores of the simulated heterogeneous-ISA CMP.
+//
+// The address space is organized as 4 KiB pages created on demand by Map.
+// Named regions record the process layout (per-ISA text sections, data,
+// heap, stack, per-ISA code caches) so higher layers — the PSR virtual
+// machine's software-fault-isolation checks, the gadget miner, the JIT-ROP
+// attacker model — can reason about which region an address falls in.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the granularity of mapping and permissions.
+const PageSize = 4096
+
+// Perm is a page-permission bitmask.
+type Perm uint8
+
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Fault is a memory access violation: unmapped address or permission
+// mismatch. Attack simulations use Faults to detect crashed exploit
+// attempts.
+type Fault struct {
+	Addr   uint32
+	Access Perm
+	Mapped bool
+}
+
+func (f *Fault) Error() string {
+	if !f.Mapped {
+		return fmt.Sprintf("mem: fault: %s access to unmapped address %#x", f.Access, f.Addr)
+	}
+	return fmt.Sprintf("mem: fault: %s access denied at %#x", f.Access, f.Addr)
+}
+
+type page struct {
+	data []byte
+	perm Perm
+}
+
+// Region is a named address range of the process layout.
+type Region struct {
+	Name string
+	Base uint32
+	Size uint32
+	Perm Perm
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint32) bool {
+	return addr >= r.Base && addr-r.Base < r.Size
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint32 { return r.Base + r.Size }
+
+// Memory is a sparse paged address space.
+type Memory struct {
+	pages   map[uint32]*page
+	regions map[string]Region
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{
+		pages:   make(map[uint32]*page),
+		regions: make(map[string]Region),
+	}
+}
+
+// Map creates (or re-permissions) pages covering [addr, addr+size) with the
+// given permissions and, when name is non-empty, records a region of that
+// name. Size is rounded up to whole pages.
+func (m *Memory) Map(name string, addr, size uint32, perm Perm) Region {
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for pn := first; pn <= last; pn++ {
+		if pg, ok := m.pages[pn]; ok {
+			pg.perm = perm
+		} else {
+			m.pages[pn] = &page{data: make([]byte, PageSize), perm: perm}
+		}
+	}
+	r := Region{Name: name, Base: addr, Size: size, Perm: perm}
+	if name != "" {
+		m.regions[name] = r
+	}
+	return r
+}
+
+// Protect changes the permissions of all pages covering [addr, addr+size).
+// Unmapped pages in the range are ignored.
+func (m *Memory) Protect(addr, size uint32, perm Perm) {
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for pn := first; pn <= last; pn++ {
+		if pg, ok := m.pages[pn]; ok {
+			pg.perm = perm
+		}
+	}
+}
+
+// Region returns the named region.
+func (m *Memory) Region(name string) (Region, bool) {
+	r, ok := m.regions[name]
+	return r, ok
+}
+
+// Regions returns all named regions sorted by base address.
+func (m *Memory) Regions() []Region {
+	out := make([]Region, 0, len(m.regions))
+	for _, r := range m.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// RegionAt returns the named region containing addr, if any.
+func (m *Memory) RegionAt(addr uint32) (Region, bool) {
+	for _, r := range m.regions {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+func (m *Memory) pageFor(addr uint32, access Perm) (*page, error) {
+	pg, ok := m.pages[addr/PageSize]
+	if !ok {
+		return nil, &Fault{Addr: addr, Access: access}
+	}
+	if pg.perm&access != access {
+		return nil, &Fault{Addr: addr, Access: access, Mapped: true}
+	}
+	return pg, nil
+}
+
+// Read copies len(buf) bytes from addr, requiring read permission.
+func (m *Memory) Read(addr uint32, buf []byte) error {
+	off := addr
+	for len(buf) > 0 {
+		pg, err := m.pageFor(off, PermR)
+		if err != nil {
+			return err
+		}
+		po := off % PageSize
+		n := copy(buf, pg.data[po:])
+		buf = buf[n:]
+		off += uint32(n)
+	}
+	return nil
+}
+
+// Write copies buf to addr, requiring write permission.
+func (m *Memory) Write(addr uint32, buf []byte) error {
+	off := addr
+	for len(buf) > 0 {
+		pg, err := m.pageFor(off, PermW)
+		if err != nil {
+			return err
+		}
+		po := off % PageSize
+		n := copy(pg.data[po:], buf)
+		buf = buf[n:]
+		off += uint32(n)
+	}
+	return nil
+}
+
+// WriteForce writes ignoring permissions, mapping pages as needed. Loaders
+// and the DBT's code-cache emitter use it; simulated programs never do.
+func (m *Memory) WriteForce(addr uint32, buf []byte) {
+	off := addr
+	for len(buf) > 0 {
+		pn := off / PageSize
+		pg, ok := m.pages[pn]
+		if !ok {
+			pg = &page{data: make([]byte, PageSize)}
+			m.pages[pn] = pg
+		}
+		po := off % PageSize
+		n := copy(pg.data[po:], buf)
+		buf = buf[n:]
+		off += uint32(n)
+	}
+}
+
+// LoadByte reads a single byte.
+func (m *Memory) LoadByte(addr uint32) (byte, error) {
+	var b [1]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// StoreByte writes a single byte.
+func (m *Memory) StoreByte(addr uint32, v byte) error {
+	return m.Write(addr, []byte{v})
+}
+
+// ReadWord reads a little-endian 32-bit word.
+func (m *Memory) ReadWord(addr uint32) (uint32, error) {
+	var b [4]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// WriteWord writes a little-endian 32-bit word.
+func (m *Memory) WriteWord(addr uint32, v uint32) error {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return m.Write(addr, b[:])
+}
+
+// Fetch returns up to n instruction bytes starting at addr, requiring
+// execute permission on every page touched. Fewer than n bytes are
+// returned when the executable range ends.
+func (m *Memory) Fetch(addr uint32, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	off := addr
+	for len(out) < n {
+		pg, err := m.pageFor(off, PermX)
+		if err != nil {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		po := off % PageSize
+		take := min(n-len(out), PageSize-int(po))
+		out = append(out, pg.data[po:int(po)+take]...)
+		off += uint32(take)
+	}
+	return out, nil
+}
+
+// Clone deep-copies the address space, including regions. Respawn-based
+// brute-force simulations use it to restore pristine process images.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for pn, pg := range m.pages {
+		np := &page{data: make([]byte, PageSize), perm: pg.perm}
+		copy(np.data, pg.data)
+		c.pages[pn] = np
+	}
+	for n, r := range m.regions {
+		c.regions[n] = r
+	}
+	return c
+}

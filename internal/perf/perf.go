@@ -1,0 +1,397 @@
+// Package perf implements the cycle-approximate timing model of the
+// heterogeneous-ISA CMP: the two cores of Table 1 (a low-power in-order-ish
+// ARM modeled after the Cortex-A9 and a high-performance x86 modeled after
+// the Xeon), with set-associative instruction and data caches, a gshare
+// branch predictor, functional-unit latencies whose exposure scales with
+// ROB depth, and the 1-cycle Return Address Table lookup penalty of §5.1.
+//
+// The model attaches to a running machine as an execution observer and
+// charges cycles per event. It is calibrated for *relative* comparisons
+// (native vs PSR optimization levels, HIPStR vs Isomeron), which is what
+// every performance figure in the paper reports.
+package perf
+
+import (
+	"hipstr/internal/isa"
+	"hipstr/internal/machine"
+)
+
+// CacheConfig describes one level-1 cache.
+type CacheConfig struct {
+	SizeKB  int
+	Ways    int
+	LineB   int
+	HitLat  float64
+	MissLat float64
+}
+
+// CoreConfig mirrors one row of Table 1.
+type CoreConfig struct {
+	Name       string
+	FreqGHz    float64
+	FetchWidth int
+	IssueWidth int
+	ROBSize    int
+	LQSize     int
+	SQSize     int
+	IntALU     int
+	IntMulDiv  int
+	FPALU      int
+	ICache     CacheConfig
+	DCache     CacheConfig
+	// MispredictPenalty is the pipeline refill cost in cycles.
+	MispredictPenalty float64
+	// RATLookup is the return-address-table translation penalty (§5.1).
+	RATLookup float64
+}
+
+// ARMCore returns the Cortex-A9-like core of Table 1.
+func ARMCore() CoreConfig {
+	return CoreConfig{
+		Name: "arm", FreqGHz: 2.0,
+		FetchWidth: 2, IssueWidth: 4, ROBSize: 20,
+		LQSize: 16, SQSize: 16,
+		IntALU: 2, IntMulDiv: 1, FPALU: 2,
+		ICache:            CacheConfig{SizeKB: 32, Ways: 2, LineB: 64, HitLat: 1, MissLat: 18},
+		DCache:            CacheConfig{SizeKB: 32, Ways: 2, LineB: 64, HitLat: 2, MissLat: 20},
+		MispredictPenalty: 9,
+		RATLookup:         1,
+	}
+}
+
+// X86Core returns the Xeon-like core of Table 1.
+func X86Core() CoreConfig {
+	return CoreConfig{
+		Name: "x86", FreqGHz: 3.3,
+		FetchWidth: 4, IssueWidth: 4, ROBSize: 128,
+		LQSize: 48, SQSize: 96,
+		IntALU: 6, IntMulDiv: 1, FPALU: 2,
+		ICache:            CacheConfig{SizeKB: 32, Ways: 2, LineB: 64, HitLat: 1, MissLat: 16},
+		DCache:            CacheConfig{SizeKB: 32, Ways: 2, LineB: 64, HitLat: 2, MissLat: 18},
+		MispredictPenalty: 15,
+		RATLookup:         1,
+	}
+}
+
+// CoreFor returns the core model matching ISA k.
+func CoreFor(k isa.Kind) CoreConfig {
+	if k == isa.X86 {
+		return X86Core()
+	}
+	return ARMCore()
+}
+
+// cacheSim is a set-associative cache with LRU replacement.
+type cacheSim struct {
+	cfg      CacheConfig
+	sets     int
+	lineBits uint
+	tags     [][]uint32
+	lru      [][]uint64
+	tick     uint64
+
+	Hits, Misses uint64
+}
+
+func newCacheSim(cfg CacheConfig) *cacheSim {
+	lines := cfg.SizeKB * 1024 / cfg.LineB
+	sets := lines / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	lb := uint(0)
+	for 1<<lb < cfg.LineB {
+		lb++
+	}
+	c := &cacheSim{cfg: cfg, sets: sets, lineBits: lb}
+	c.tags = make([][]uint32, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = ^uint32(0)
+		}
+	}
+	return c
+}
+
+// access touches addr and returns the latency.
+func (c *cacheSim) access(addr uint32) float64 {
+	c.tick++
+	line := addr >> c.lineBits
+	set := int(line) % c.sets
+	tag := line
+	ways := c.tags[set]
+	for w, t := range ways {
+		if t == tag {
+			c.lru[set][w] = c.tick
+			c.Hits++
+			return c.cfg.HitLat
+		}
+	}
+	c.Misses++
+	victim, oldest := 0, c.lru[set][0]
+	for w := 1; w < len(ways); w++ {
+		if c.lru[set][w] < oldest {
+			victim, oldest = w, c.lru[set][w]
+		}
+	}
+	ways[victim] = tag
+	c.lru[set][victim] = c.tick
+	return c.cfg.MissLat
+}
+
+// predictor is a gshare-style branch direction predictor.
+type predictor struct {
+	table   []uint8
+	history uint32
+
+	Lookups, Mispredicts uint64
+}
+
+func newPredictor(bits int) *predictor {
+	return &predictor{table: make([]uint8, 1<<bits)}
+}
+
+func (p *predictor) predict(pc uint32) bool {
+	idx := (pc ^ p.history) & uint32(len(p.table)-1)
+	return p.table[idx] >= 2
+}
+
+func (p *predictor) update(pc uint32, taken bool) bool {
+	p.Lookups++
+	idx := (pc ^ p.history) & uint32(len(p.table)-1)
+	pred := p.table[idx] >= 2
+	if taken && p.table[idx] < 3 {
+		p.table[idx]++
+	}
+	if !taken && p.table[idx] > 0 {
+		p.table[idx]--
+	}
+	p.history = p.history<<1 | b2u(taken)
+	mis := pred != taken
+	if mis {
+		p.Mispredicts++
+	}
+	return mis
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Counts aggregates instruction-mix statistics.
+type Counts struct {
+	Instrs   uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+	Calls    uint64
+	Returns  uint64
+	MulDiv   uint64
+}
+
+// Model accumulates cycles for one core.
+type Model struct {
+	Core   CoreConfig
+	ICache *cacheSim
+	DCache *cacheSim
+	Bpred  *predictor
+
+	Cycles float64
+	Counts Counts
+
+	// RATEnabled charges the return-address translation penalty on every
+	// return (the modified return macro-op).
+	RATEnabled bool
+
+	lastJcc     *isa.Inst
+	lastJccAddr uint32
+	prevExec    machine.ExecHook
+}
+
+// NewModel builds a timing model for the given core.
+func NewModel(core CoreConfig) *Model {
+	return &Model{
+		Core:   core,
+		ICache: newCacheSim(core.ICache),
+		DCache: newCacheSim(core.DCache),
+		Bpred:  newPredictor(12),
+	}
+}
+
+// Attach chains the model onto the machine's execution hook. Call Detach
+// (or overwrite OnExec) to stop observing.
+func (mo *Model) Attach(m *machine.Machine) {
+	mo.prevExec = m.OnExec
+	m.OnExec = func(mm *machine.Machine, in *isa.Inst) {
+		if mo.prevExec != nil {
+			mo.prevExec(mm, in)
+		}
+		mo.Observe(mm, in)
+	}
+}
+
+// latencyExposure scales functional-unit latency by how little the ROB can
+// hide: deep out-of-order windows overlap long-latency operations.
+func (mo *Model) latencyExposure() float64 {
+	e := 24.0 / float64(mo.Core.ROBSize)
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
+// Observe charges cycles for one executed instruction.
+func (mo *Model) Observe(m *machine.Machine, in *isa.Inst) {
+	c := &mo.Core
+	mo.Counts.Instrs++
+
+	// Resolve the previous conditional branch now that the outcome is
+	// visible (the next instruction's address tells the direction).
+	if mo.lastJcc != nil {
+		taken := in.Addr == mo.lastJcc.Target
+		if mo.Bpred.update(mo.lastJccAddr, taken) {
+			mo.Cycles += c.MispredictPenalty
+		}
+		mo.lastJcc = nil
+	}
+
+	// Issue bandwidth.
+	mo.Cycles += 1.0 / float64(c.IssueWidth)
+
+	// Instruction fetch: one I-cache access per line touched.
+	lat := mo.ICache.access(in.Addr)
+	if lat > mo.ICache.cfg.HitLat {
+		mo.Cycles += lat
+	} else {
+		mo.Cycles += lat / float64(c.FetchWidth) / 4
+	}
+
+	exp := mo.latencyExposure()
+	switch in.Op {
+	case isa.OpMul:
+		mo.Counts.MulDiv++
+		mo.Cycles += 3 * exp / float64(c.IntMulDiv)
+	case isa.OpDiv:
+		mo.Counts.MulDiv++
+		mo.Cycles += 12 * exp / float64(c.IntMulDiv)
+	case isa.OpJcc:
+		mo.Counts.Branches++
+		mo.Bpred.predict(in.Addr)
+		mo.lastJcc = in
+		mo.lastJccAddr = in.Addr
+	case isa.OpCall, isa.OpCallI:
+		mo.Counts.Calls++
+		mo.Cycles += 1 * exp
+	case isa.OpRet, isa.OpBx:
+		if in.Op == isa.OpRet || in.Dst.IsReg(isa.LR) {
+			mo.Counts.Returns++
+			if mo.RATEnabled {
+				mo.Cycles += mo.Core.RATLookup
+			}
+		}
+	}
+
+	// Data accesses.
+	mo.observeMem(m, in)
+}
+
+func (mo *Model) observeMem(m *machine.Machine, in *isa.Inst) {
+	charge := func(o isa.Operand, store bool) {
+		if o.Kind != isa.OpdMem {
+			return
+		}
+		ea := effectiveAddr(m, o.Mem)
+		lat := mo.DCache.access(ea)
+		exp := mo.latencyExposure()
+		if store {
+			mo.Counts.Stores++
+			// Stores retire through the store queue; latency mostly hidden.
+			mo.Cycles += lat * exp * 0.3
+		} else {
+			mo.Counts.Loads++
+			mo.Cycles += lat * exp
+		}
+	}
+	switch in.Op {
+	case isa.OpMov, isa.OpLoad, isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpCmp, isa.OpTest, isa.OpMul, isa.OpDiv, isa.OpShl,
+		isa.OpShr, isa.OpNeg, isa.OpNot, isa.OpInc, isa.OpDec:
+		charge(in.Src, false)
+		if in.Op == isa.OpMov || in.Op == isa.OpLoad {
+			charge(in.Dst, true)
+		} else {
+			// Read-modify-write memory destination.
+			if in.Dst.Kind == isa.OpdMem {
+				charge(in.Dst, false)
+				charge(in.Dst, true)
+			}
+		}
+	case isa.OpStore:
+		charge(in.Dst, true)
+	case isa.OpPush:
+		charge(in.Src, false)
+		mo.Counts.Stores++
+		mo.Cycles += mo.DCache.access(m.SP()-4) * mo.latencyExposure() * 0.3
+	case isa.OpPop, isa.OpRet, isa.OpLeave:
+		mo.Counts.Loads++
+		mo.Cycles += mo.DCache.access(m.SP()) * mo.latencyExposure()
+	case isa.OpPushM, isa.OpPopM:
+		n := 0
+		for r := 0; r < 16; r++ {
+			if in.RegMask&(1<<r) != 0 {
+				n++
+			}
+		}
+		mo.Cycles += float64(n) * mo.DCache.access(m.SP()) * mo.latencyExposure() * 0.5
+	}
+}
+
+func effectiveAddr(m *machine.Machine, r isa.MemRef) uint32 {
+	var a uint32 = uint32(r.Disp)
+	if r.HasBase {
+		a += m.Regs[r.Base]
+	}
+	if r.HasIndex {
+		s := uint32(r.Scale)
+		if s == 0 {
+			s = 1
+		}
+		a += m.Regs[r.Index] * s
+	}
+	return a
+}
+
+// CPI returns cycles per instruction so far.
+func (mo *Model) CPI() float64 {
+	if mo.Counts.Instrs == 0 {
+		return 0
+	}
+	return mo.Cycles / float64(mo.Counts.Instrs)
+}
+
+// Seconds converts accumulated cycles to wall time on this core.
+func (mo *Model) Seconds() float64 {
+	return mo.Cycles / (mo.Core.FreqGHz * 1e9)
+}
+
+// Snapshot captures the current cycle/instruction counters.
+type Snapshot struct {
+	Cycles float64
+	Instrs uint64
+}
+
+// Snap returns the current counters.
+func (mo *Model) Snap() Snapshot {
+	return Snapshot{Cycles: mo.Cycles, Instrs: mo.Counts.Instrs}
+}
+
+// Since returns cycles and instructions accumulated after s.
+func (mo *Model) Since(s Snapshot) (float64, uint64) {
+	return mo.Cycles - s.Cycles, mo.Counts.Instrs - s.Instrs
+}

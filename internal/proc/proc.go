@@ -1,0 +1,189 @@
+// Package proc boots fat-binary programs on a simulated core and provides
+// the shared syscall environment. It is the "native execution" baseline:
+// no PSR, no DBT — the program's own text section runs directly. The PSR
+// virtual machine (package dbt) reuses the same bootstrap and syscall
+// conventions.
+package proc
+
+import (
+	"errors"
+	"fmt"
+
+	"hipstr/internal/fatbin"
+	"hipstr/internal/isa"
+	"hipstr/internal/machine"
+	"hipstr/internal/mem"
+)
+
+// ExitAddr is the sentinel return address installed under main: returning
+// to it terminates the process.
+const ExitAddr = 0xFFFFFFF0
+
+// Syscall numbers of the simulated kernel ABI. The number is passed in
+// EAX/R0; arguments in EBX,ECX,EDX,ESI,EDI (x86) or R1-R4 (ARM); the
+// result returns in EAX/R0.
+const (
+	SysExit   = 1
+	SysWrite  = 4  // record args[0] in the process trace
+	SysExecve = 11 // the classic shellcode target
+	SysGetPID = 20
+)
+
+// DefaultStackSize is the stack mapping created for a process.
+const DefaultStackSize = 1 << 20
+
+// DefaultHeapSize is the heap mapping created for a process.
+const DefaultHeapSize = 1 << 20
+
+// ExecveEvent records a successful execve: the attack-success signal in
+// the security evaluation.
+type ExecveEvent struct {
+	PathPtr uint32
+	ArgvPtr uint32
+	EnvpPtr uint32
+}
+
+// Process is a program instance executing on one core.
+type Process struct {
+	Bin *fatbin.Binary
+	Mem *mem.Memory
+	M   *machine.Machine
+
+	Trace    []uint32 // values written via SysWrite
+	Exited   bool
+	ExitCode uint32
+	Execves  []ExecveEvent
+
+	// OnControl chains an extra hook (the DBT installs its own; native
+	// processes leave it nil).
+	extraControl machine.ControlHook
+}
+
+// sysArgRegs mirrors the compiler's syscall argument registers.
+var sysArgRegs = [2][]isa.Reg{
+	isa.X86: {isa.EBX, isa.ECX, isa.EDX, isa.ESI, isa.EDI},
+	isa.ARM: {isa.R1, isa.R2, isa.R3, isa.R4},
+}
+
+// New boots bin for native execution on ISA k with default sizes.
+func New(bin *fatbin.Binary, k isa.Kind) (*Process, error) {
+	return NewWith(bin, k, DefaultStackSize, DefaultHeapSize)
+}
+
+// NewWith boots bin with explicit stack and heap sizes.
+func NewWith(bin *fatbin.Binary, k isa.Kind, stackSize, heapSize uint32) (*Process, error) {
+	entryFn := bin.Func(bin.EntryFunc)
+	if entryFn == nil {
+		return nil, fmt.Errorf("proc: no entry function %q", bin.EntryFunc)
+	}
+	ram := mem.New()
+	bin.Load(ram, stackSize, heapSize)
+	m := machine.New(k, ram)
+	p := &Process{Bin: bin, Mem: ram, M: m}
+	m.Syscall = p.handleSyscall
+	m.OnControl = p.handleControl
+	p.Reset(k)
+	return p, nil
+}
+
+// Reset rewinds the machine to the program entry on ISA k without
+// reloading memory. (Memory mutations from a previous run persist; use a
+// fresh process for pristine state.)
+func (p *Process) Reset(k isa.Kind) {
+	entryFn := p.Bin.Func(p.Bin.EntryFunc)
+	p.M.State = machine.State{ISA: k}
+	p.M.PC = entryFn.Entry[k]
+	sp := uint32(fatbin.StackTop - 64)
+	if k == isa.X86 {
+		sp -= 4
+		p.M.Regs[isa.ESP] = sp
+		// The bootstrap "caller" pushes the exit sentinel.
+		if err := p.Mem.WriteWord(sp, ExitAddr); err != nil {
+			panic(fmt.Sprintf("proc: bootstrap stack unmapped: %v", err))
+		}
+	} else {
+		// ARM callees store LR themselves.
+		p.M.Regs[isa.SP] = sp
+		p.M.Regs[isa.LR] = ExitAddr
+	}
+	p.Exited = false
+}
+
+// SetControlHook chains an additional control hook ahead of the exit
+// detection (used by the DBT layer).
+func (p *Process) SetControlHook(h machine.ControlHook) { p.extraControl = h }
+
+func (p *Process) handleControl(m *machine.Machine, in *isa.Inst, kind machine.ControlKind, target, retAddr uint32) (uint32, uint32, error) {
+	if p.extraControl != nil {
+		var err error
+		target, retAddr, err = p.extraControl(m, in, kind, target, retAddr)
+		if err != nil {
+			return target, retAddr, err
+		}
+	}
+	if kind == machine.CtlRet && target == ExitAddr {
+		m.Halted = true
+		p.Exited = true
+		p.ExitCode = m.Regs[retRegOf(m.ISA)]
+		// Park the PC on the sentinel; the machine stops before fetching.
+		return target, retAddr, nil
+	}
+	return target, retAddr, nil
+}
+
+func retRegOf(k isa.Kind) isa.Reg {
+	if k == isa.X86 {
+		return isa.EAX
+	}
+	return isa.R0
+}
+
+func (p *Process) handleSyscall(m *machine.Machine, vector int32) error {
+	if vector != 0x80 {
+		return fmt.Errorf("proc: unknown syscall vector %#x", vector)
+	}
+	num := m.Regs[retRegOf(m.ISA)]
+	regs := sysArgRegs[m.ISA]
+	var args [5]uint32
+	for i := 0; i < len(regs) && i < len(args); i++ {
+		args[i] = m.Regs[regs[i]]
+	}
+	switch num {
+	case SysExit:
+		m.Halted = true
+		p.Exited = true
+		p.ExitCode = args[0]
+	case SysWrite:
+		p.Trace = append(p.Trace, args[0])
+		m.Regs[retRegOf(m.ISA)] = 4
+	case SysExecve:
+		p.Execves = append(p.Execves, ExecveEvent{PathPtr: args[0], ArgvPtr: args[1], EnvpPtr: args[2]})
+		m.Regs[retRegOf(m.ISA)] = 0
+	case SysGetPID:
+		m.Regs[retRegOf(m.ISA)] = 42
+	default:
+		return fmt.Errorf("proc: unknown syscall %d", num)
+	}
+	return nil
+}
+
+// Run executes up to maxSteps instructions, stopping at exit.
+func (p *Process) Run(maxSteps uint64) (uint64, error) {
+	n, err := p.M.Run(maxSteps)
+	if err != nil && errors.Is(err, machine.ErrHalted) {
+		err = nil
+	}
+	return n, err
+}
+
+// RunToExit runs until the program exits, failing if it does not within
+// maxSteps.
+func (p *Process) RunToExit(maxSteps uint64) error {
+	if _, err := p.Run(maxSteps); err != nil {
+		return err
+	}
+	if !p.Exited && !p.M.Halted {
+		return fmt.Errorf("proc: program did not exit within %d steps", maxSteps)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package proc_test
+
+import (
+	"testing"
+
+	"hipstr/internal/compiler"
+	"hipstr/internal/isa"
+	"hipstr/internal/proc"
+	"hipstr/internal/prog"
+	"hipstr/internal/testprogs"
+)
+
+func TestBootAndExit(t *testing.T) {
+	bin, err := compiler.Compile(testprogs.SumLoop(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range isa.Kinds {
+		p, err := proc.New(bin, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.RunToExit(1_000_000); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if p.ExitCode != 21 {
+			t.Fatalf("%s: exit %d", k, p.ExitCode)
+		}
+	}
+}
+
+func TestSyscallTraceAndExecveRecording(t *testing.T) {
+	mb := prog.NewModule("sys")
+	fb := mb.Func("main", 0)
+	a := fb.Const(5)
+	fb.Syscall(4, a) // write(5)
+	b := fb.Const(9)
+	fb.Syscall(4, b) // write(9)
+	path := fb.Const(0x1234)
+	z := fb.Const(0)
+	fb.Syscall(11, path, z, z) // execve
+	fb.Syscall(1, z)
+	fb.Ret(z)
+	bin, err := compiler.Compile(mb.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proc.New(bin, isa.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunToExit(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Trace) != 2 || p.Trace[0] != 5 || p.Trace[1] != 9 {
+		t.Fatalf("trace %v", p.Trace)
+	}
+	if len(p.Execves) != 1 || p.Execves[0].PathPtr != 0x1234 {
+		t.Fatalf("execves %v", p.Execves)
+	}
+}
+
+func TestUnknownSyscallFails(t *testing.T) {
+	mb := prog.NewModule("bad")
+	fb := mb.Func("main", 0)
+	z := fb.Const(0)
+	fb.Syscall(999, z)
+	fb.Ret(z)
+	bin, err := compiler.Compile(mb.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proc.New(bin, isa.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(10_000); err == nil {
+		t.Fatal("unknown syscall should error")
+	}
+}
+
+func TestExitCodeFromReturn(t *testing.T) {
+	// main returning without calling exit(): the bootstrap captures the
+	// return value through the exit sentinel.
+	mb := prog.NewModule("ret")
+	fb := mb.Func("main", 0)
+	v := fb.Const(123)
+	fb.Ret(v)
+	bin, err := compiler.Compile(mb.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range isa.Kinds {
+		p, err := proc.New(bin, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.RunToExit(10_000); err != nil {
+			t.Fatal(err)
+		}
+		if p.ExitCode != 123 {
+			t.Fatalf("%s: exit %d", k, p.ExitCode)
+		}
+	}
+}
+
+func TestResetReruns(t *testing.T) {
+	bin, err := compiler.Compile(testprogs.Fib(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proc.New(bin, isa.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunToExit(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	first := p.ExitCode
+	p.Reset(isa.ARM)
+	if err := p.RunToExit(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != first {
+		t.Fatalf("rerun on ARM gave %d, first %d", p.ExitCode, first)
+	}
+}

@@ -1,0 +1,324 @@
+// Package prog defines the architecture-neutral intermediate representation
+// consumed by the multi-ISA compiler. Programs are modules of functions;
+// functions are CFGs of basic blocks over virtual registers and named local
+// stack slots.
+//
+// The IR deliberately distinguishes slot accesses (LoadSlot/StoreSlot) from
+// pointer-based memory accesses (Load/Store): slots whose address is never
+// taken are relocatable by PSR, while address-taken slots become the "fixed
+// stack slots" of the paper's extended symbol table.
+package prog
+
+import (
+	"fmt"
+
+	"hipstr/internal/isa"
+)
+
+// VReg is a virtual register id, local to a function. Parameters occupy
+// v0..v(NParams-1) at function entry.
+type VReg int32
+
+// NoVReg marks an unused vreg field.
+const NoVReg VReg = -1
+
+// OpKind enumerates IR operations.
+type OpKind uint8
+
+const (
+	OpConst      OpKind = iota // Dst = Imm
+	OpCopy                     // Dst = A
+	OpBin                      // Dst = A <Bin> B
+	OpBinImm                   // Dst = A <Bin> Imm
+	OpNeg                      // Dst = -A
+	OpNot                      // Dst = ^A
+	OpLoadSlot                 // Dst = slots[Slot]
+	OpStoreSlot                // slots[Slot] = A
+	OpSlotAddr                 // Dst = &slots[Slot] (pins Slot)
+	OpGlobalAddr               // Dst = &globals[Global] + Imm
+	OpLoad                     // Dst = mem[A + Imm]
+	OpStore                    // mem[A + Imm] = B
+	OpCall                     // Dst? = Fn(Args...)
+	OpCallInd                  // Dst? = (*A)(Args...)
+	OpFuncAddr                 // Dst = &Fn
+	OpSyscall                  // Dst = syscall(Imm; Args...)
+	OpRet                      // return A (or void when A == NoVReg)
+	OpJmp                      // goto Blk
+	OpBr                       // if A <Cond> B goto Blk else Blk2
+	OpBrImm                    // if A <Cond> Imm goto Blk else Blk2
+)
+
+var opKindNames = [...]string{
+	"const", "copy", "bin", "binimm", "neg", "not", "loadslot", "storeslot",
+	"slotaddr", "globaladdr", "load", "store", "call", "callind", "funcaddr",
+	"syscall", "ret", "jmp", "br", "brimm",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// BinOp is an arithmetic/logic operator.
+type BinOp uint8
+
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+)
+
+var binNames = [...]string{"add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr"}
+
+func (b BinOp) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin(%d)", uint8(b))
+}
+
+// MachineOp returns the isa.Op implementing b.
+func (b BinOp) MachineOp() isa.Op {
+	switch b {
+	case BinAdd:
+		return isa.OpAdd
+	case BinSub:
+		return isa.OpSub
+	case BinMul:
+		return isa.OpMul
+	case BinDiv:
+		return isa.OpDiv
+	case BinAnd:
+		return isa.OpAnd
+	case BinOr:
+		return isa.OpOr
+	case BinXor:
+		return isa.OpXor
+	case BinShl:
+		return isa.OpShl
+	case BinShr:
+		return isa.OpShr
+	}
+	return isa.OpInvalid
+}
+
+// Instr is one IR operation. Field use depends on Kind; unused vreg fields
+// hold NoVReg.
+type Instr struct {
+	Kind   OpKind
+	Bin    BinOp
+	Cond   isa.Cond
+	Dst    VReg
+	A, B   VReg
+	Imm    int32
+	Slot   int
+	Global int
+	Fn     string
+	Args   []VReg
+	Blk    int // primary branch target block id
+	Blk2   int // fall-through block id for branches
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (i *Instr) IsTerminator() bool {
+	switch i.Kind {
+	case OpRet, OpJmp, OpBr, OpBrImm:
+		return true
+	}
+	return false
+}
+
+// Uses returns the vregs the instruction reads.
+func (i *Instr) Uses() []VReg {
+	var out []VReg
+	add := func(v VReg) {
+		if v != NoVReg {
+			out = append(out, v)
+		}
+	}
+	switch i.Kind {
+	case OpCopy, OpNeg, OpNot, OpStoreSlot, OpLoad:
+		add(i.A)
+	case OpBin:
+		add(i.A)
+		add(i.B)
+	case OpBinImm:
+		add(i.A)
+	case OpStore:
+		add(i.A)
+		add(i.B)
+	case OpBr:
+		add(i.A)
+		add(i.B)
+	case OpBrImm:
+		add(i.A)
+	case OpRet:
+		add(i.A)
+	case OpCall, OpSyscall:
+		out = append(out, i.Args...)
+	case OpCallInd:
+		add(i.A)
+		out = append(out, i.Args...)
+	}
+	return out
+}
+
+// Def returns the vreg the instruction writes, or NoVReg.
+func (i *Instr) Def() VReg {
+	switch i.Kind {
+	case OpConst, OpCopy, OpBin, OpBinImm, OpNeg, OpNot, OpLoadSlot,
+		OpSlotAddr, OpGlobalAddr, OpLoad, OpFuncAddr:
+		return i.Dst
+	case OpCall, OpCallInd, OpSyscall:
+		return i.Dst // may be NoVReg for void calls
+	}
+	return NoVReg
+}
+
+// Block is a basic block: straight-line instructions ending in one
+// terminator.
+type Block struct {
+	ID  int
+	Ins []Instr
+}
+
+// Term returns the block terminator.
+func (b *Block) Term() *Instr {
+	if len(b.Ins) == 0 {
+		return nil
+	}
+	t := &b.Ins[len(b.Ins)-1]
+	if !t.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns successor block ids.
+func (b *Block) Succs() []int {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case OpJmp:
+		return []int{t.Blk}
+	case OpBr, OpBrImm:
+		if t.Blk == t.Blk2 {
+			return []int{t.Blk}
+		}
+		return []int{t.Blk, t.Blk2}
+	}
+	return nil
+}
+
+// Func is a single function. Parameters are v0..v(NParams-1); NSlots local
+// word-sized stack slots are addressable via LoadSlot/StoreSlot; slots
+// pinned by OpSlotAddr are recorded in FixedSlots by Validate.
+type Func struct {
+	Name       string
+	NParams    int
+	NVRegs     int
+	NSlots     int
+	Blocks     []*Block
+	FixedSlots map[int]bool
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Block returns the block with the given id.
+func (f *Func) Block(id int) *Block { return f.Blocks[id] }
+
+// Global is a word-aligned data object.
+type Global struct {
+	Name string
+	Size uint32
+	Init []byte
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	FuncIdx map[string]int
+	Globals []Global
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func {
+	if i, ok := m.FuncIdx[name]; ok {
+		return m.Funcs[i]
+	}
+	return nil
+}
+
+// Validate checks module well-formedness and computes FixedSlots for every
+// function: one terminator per block (as the final instruction), in-range
+// vregs/slots/blocks, and resolvable call targets.
+func (m *Module) Validate() error {
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("prog: %s: no blocks", f.Name)
+		}
+		if f.FixedSlots == nil {
+			f.FixedSlots = make(map[int]bool)
+		}
+		for bi, b := range f.Blocks {
+			if b.ID != bi {
+				return fmt.Errorf("prog: %s: block %d has id %d", f.Name, bi, b.ID)
+			}
+			if b.Term() == nil {
+				return fmt.Errorf("prog: %s: block %d lacks terminator", f.Name, bi)
+			}
+			for ii := range b.Ins {
+				in := &b.Ins[ii]
+				if in.IsTerminator() && ii != len(b.Ins)-1 {
+					return fmt.Errorf("prog: %s: block %d: terminator mid-block at %d", f.Name, bi, ii)
+				}
+				for _, u := range in.Uses() {
+					if int(u) >= f.NVRegs || u < 0 {
+						return fmt.Errorf("prog: %s: block %d ins %d: vreg %d out of range", f.Name, bi, ii, u)
+					}
+				}
+				if d := in.Def(); d != NoVReg && int(d) >= f.NVRegs {
+					return fmt.Errorf("prog: %s: block %d ins %d: def vreg %d out of range", f.Name, bi, ii, d)
+				}
+				switch in.Kind {
+				case OpLoadSlot, OpStoreSlot, OpSlotAddr:
+					if in.Slot < 0 || in.Slot >= f.NSlots {
+						return fmt.Errorf("prog: %s: slot %d out of range", f.Name, in.Slot)
+					}
+					if in.Kind == OpSlotAddr {
+						f.FixedSlots[in.Slot] = true
+					}
+				case OpGlobalAddr:
+					if in.Global < 0 || in.Global >= len(m.Globals) {
+						return fmt.Errorf("prog: %s: global %d out of range", f.Name, in.Global)
+					}
+				case OpCall, OpFuncAddr:
+					if _, ok := m.FuncIdx[in.Fn]; !ok {
+						return fmt.Errorf("prog: %s: unknown function %q", f.Name, in.Fn)
+					}
+				case OpJmp:
+					if in.Blk < 0 || in.Blk >= len(f.Blocks) {
+						return fmt.Errorf("prog: %s: jmp to bad block %d", f.Name, in.Blk)
+					}
+				case OpBr, OpBrImm:
+					if in.Blk < 0 || in.Blk >= len(f.Blocks) || in.Blk2 < 0 || in.Blk2 >= len(f.Blocks) {
+						return fmt.Errorf("prog: %s: branch to bad blocks %d/%d", f.Name, in.Blk, in.Blk2)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

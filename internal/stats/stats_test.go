@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty inputs should give 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Fatal("mean wrong")
+	}
+	if g := GeoMean([]float64{1, 4, 16}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean %f", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive input should give 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max should be 0")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.137) != "13.7%" {
+		t.Fatalf("Pct: %s", Pct(0.137))
+	}
+	if Sci(1234567) != "1.23e+06" {
+		t.Fatalf("Sci: %s", Sci(1234567))
+	}
+}
+
+func TestGeoMeanLEMeanQuick(t *testing.T) {
+	// AM-GM inequality as a property.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

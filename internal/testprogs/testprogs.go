@@ -1,0 +1,431 @@
+// Package testprogs provides small, hand-written IR programs with known
+// behavior, shared by the compiler, DBT, migration, and attack test
+// suites. Every program's main exits with a value and/or emits a SysWrite
+// trace, so cross-ISA and native-vs-translated equivalence can be checked
+// by comparing observable behavior.
+package testprogs
+
+import (
+	"fmt"
+
+	"hipstr/internal/isa"
+	"hipstr/internal/prog"
+)
+
+// SumLoop returns a module whose main computes sum(0..n-1) with a simple
+// loop over loop-carried vregs and exits with the result. The loop is hot
+// enough to receive register bindings, making its state register-resident
+// at block boundaries.
+func SumLoop(n int32) *prog.Module {
+	mb := prog.NewModule("sumloop")
+	fb := mb.Func("main", 0)
+	nv := fb.Const(n)
+	s := fb.Const(0)
+	i := fb.Const(0)
+	loop := fb.NewBlock()
+	body := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.SetBlock(0)
+	fb.Jmp(loop)
+	fb.SetBlock(loop)
+	fb.Br(isa.CondLT, i, nv, body, exit)
+	fb.SetBlock(body)
+	fb.BinTo(s, prog.BinAdd, s, i)
+	fb.BinImmTo(i, prog.BinAdd, i, 1)
+	fb.Jmp(loop)
+	fb.SetBlock(exit)
+	resS := fb.NewSlot()
+	fb.StoreSlot(resS, s)
+	r := fb.LoadSlot(resS)
+	fb.Syscall(1, r) // exit(sum)
+	fb.Ret(r)
+	return mb.MustBuild()
+}
+
+// Fib returns a module computing fib(n) by naive recursion, exercising
+// call/return, argument passing, and deep stacks. main exits with fib(n).
+func Fib(n int32) *prog.Module {
+	mb := prog.NewModule("fib")
+
+	mfb := mb.Func("main", 0)
+	nv := mfb.Const(n)
+	r := mfb.Call("fib", true, nv)
+	mfb.Syscall(1, r)
+	mfb.Ret(r)
+
+	fb := mb.Func("fib", 1)
+	x := fb.Param(0)
+	rec := fb.NewBlock()
+	base := fb.NewBlock()
+	fb.SetBlock(0)
+	fb.BrImm(isa.CondLT, x, 2, base, rec)
+	fb.SetBlock(base)
+	fb.Ret(x)
+	fb.SetBlock(rec)
+	a := fb.BinImm(prog.BinSub, x, 1)
+	ra := fb.Call("fib", true, a)
+	b := fb.BinImm(prog.BinSub, x, 2)
+	rb := fb.Call("fib", true, b)
+	s := fb.Bin(prog.BinAdd, ra, rb)
+	fb.Ret(s)
+
+	return mb.MustBuild()
+}
+
+// Collatz returns a module that traces the Collatz sequence of n via
+// SysWrite and exits with the step count. It exercises div, mul, branches,
+// and a write-syscall inside a bound loop.
+func Collatz(n int32) *prog.Module {
+	mb := prog.NewModule("collatz")
+	fb := mb.Func("main", 0)
+	vS := fb.NewSlot()
+	cS := fb.NewSlot()
+	v0 := fb.Const(n)
+	c0 := fb.Const(0)
+	fb.StoreSlot(vS, v0)
+	fb.StoreSlot(cS, c0)
+	loop := fb.NewBlock()
+	fb.SetBlock(0)
+	fb.Jmp(loop)
+	check := loop
+	odd := fb.NewBlock()
+	even := fb.NewBlock()
+	cont := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.SetBlock(check)
+	v := fb.LoadSlot(vS)
+	fb.Syscall(4, v) // write(v)
+	one := fb.BinImm(prog.BinAnd, v, 1)
+	fb.BrImm(isa.CondEQ, one, 0, even, odd)
+	fb.SetBlock(even)
+	v2 := fb.BinImm(prog.BinDiv, v, 2)
+	fb.StoreSlot(vS, v2)
+	fb.Jmp(cont)
+	fb.SetBlock(odd)
+	t := fb.BinImm(prog.BinMul, v, 3)
+	t2 := fb.BinImm(prog.BinAdd, t, 1)
+	fb.StoreSlot(vS, t2)
+	fb.Jmp(cont)
+	fb.SetBlock(cont)
+	c := fb.LoadSlot(cS)
+	c2 := fb.BinImm(prog.BinAdd, c, 1)
+	fb.StoreSlot(cS, c2)
+	nv := fb.LoadSlot(vS)
+	fb.BrImm(isa.CondLE, nv, 1, exit, check)
+	fb.SetBlock(exit)
+	cnt := fb.LoadSlot(cS)
+	fb.Syscall(1, cnt)
+	fb.Ret(cnt)
+	return mb.MustBuild()
+}
+
+// GlobalTable returns a module exercising globals and indirect calls: a
+// table of function pointers is stored in a global, then each is called
+// through the table. main exits with the accumulated result.
+func GlobalTable() *prog.Module {
+	mb := prog.NewModule("table")
+	tbl := mb.Global("table", 16, nil)
+
+	f1 := mb.Func("inc", 1)
+	f1.Ret(f1.BinImm(prog.BinAdd, f1.Param(0), 1))
+	f2 := mb.Func("dbl", 1)
+	f2.Ret(f2.BinImm(prog.BinMul, f2.Param(0), 2))
+	f3 := mb.Func("sqr", 1)
+	f3.Ret(f3.Bin(prog.BinMul, f3.Param(0), f3.Param(0)))
+
+	fb := mb.Func("main", 0)
+	base := fb.GlobalAddr(tbl, 0)
+	for i, name := range []string{"inc", "dbl", "sqr"} {
+		fp := fb.FuncAddr(name)
+		fb.Store(base, int32(4*i), fp)
+	}
+	accS := fb.NewSlot()
+	start := fb.Const(3)
+	fb.StoreSlot(accS, start)
+	for i := 0; i < 3; i++ {
+		fp := fb.Load(base, int32(4*i))
+		cur := fb.LoadSlot(accS)
+		res := fb.CallInd(fp, true, cur)
+		fb.StoreSlot(accS, res)
+	}
+	out := fb.LoadSlot(accS)
+	fb.Syscall(1, out) // ((3+1)*2)^2 = 64
+	fb.Ret(out)
+	return mb.MustBuild()
+}
+
+// NestedLoops returns a module with a doubly nested loop computing a
+// checksum, stressing loop-binding edges (outer->inner transitions) and
+// shifts. main exits with the checksum.
+func NestedLoops(outer, inner int32) *prog.Module {
+	mb := prog.NewModule("nested")
+	fb := mb.Func("main", 0)
+	acc := fb.Const(0)
+	i := fb.Const(0)
+	j := fb.Const(0)
+	oLoop := fb.NewBlock()
+	oBody := fb.NewBlock()
+	iLoop := fb.NewBlock()
+	iBody := fb.NewBlock()
+	oLatch := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.SetBlock(0)
+	fb.Jmp(oLoop)
+
+	fb.SetBlock(oLoop)
+	fb.BrImm(isa.CondLT, i, outer, oBody, exit)
+
+	fb.SetBlock(oBody)
+	fb.ConstTo(j, 0)
+	fb.Jmp(iLoop)
+
+	fb.SetBlock(iLoop)
+	fb.BrImm(isa.CondLT, j, inner, iBody, oLatch)
+
+	fb.SetBlock(iBody)
+	x := fb.Bin(prog.BinXor, i, j)
+	sh := fb.BinImm(prog.BinShl, x, 1)
+	fb.BinTo(acc, prog.BinAdd, acc, sh)
+	fb.BinImmTo(j, prog.BinAdd, j, 1)
+	fb.Jmp(iLoop)
+
+	fb.SetBlock(oLatch)
+	fb.BinImmTo(i, prog.BinAdd, i, 1)
+	fb.Jmp(oLoop)
+
+	fb.SetBlock(exit)
+	fb.Syscall(1, acc)
+	fb.Ret(acc)
+	return mb.MustBuild()
+}
+
+// PointerChase returns a module that builds a linked list in a global
+// arena and walks it, exercising address-taken slots and pointer loads.
+// main exits with the list sum.
+func PointerChase(n int32) *prog.Module {
+	mb := prog.NewModule("ptrchase")
+	arena := mb.Global("arena", uint32(8*(n+1)), nil)
+	fb := mb.Func("main", 0)
+	// Build: node i at arena+8i = {value: i*3, next: arena+8(i+1) or 0}.
+	iS := fb.NewSlot()
+	fb.StoreSlot(iS, fb.Const(0))
+	build := fb.NewBlock()
+	fb.SetBlock(0)
+	fb.Jmp(build)
+	bBody := fb.NewBlock()
+	walkInit := fb.NewBlock()
+	fb.SetBlock(build)
+	iv := fb.LoadSlot(iS)
+	fb.BrImm(isa.CondLT, iv, n, bBody, walkInit)
+	last := fb.NewBlock()
+	notLast := fb.NewBlock()
+	bCont := fb.NewBlock()
+	fb.SetBlock(bBody)
+	i2 := fb.LoadSlot(iS)
+	off := fb.BinImm(prog.BinMul, i2, 8)
+	basePtr := fb.GlobalAddr(arena, 0)
+	node := fb.Bin(prog.BinAdd, basePtr, off)
+	val := fb.BinImm(prog.BinMul, i2, 3)
+	fb.Store(node, 0, val)
+	isLast := fb.BinImm(prog.BinAdd, i2, 1)
+	nextOff := fb.BinImm(prog.BinMul, isLast, 8)
+	next := fb.Bin(prog.BinAdd, basePtr, nextOff)
+	fb.BrImm(isa.CondEQ, isLast, n, last, notLast)
+	fb.SetBlock(last)
+	zero := fb.Const(0)
+	fb.Store(node, 4, zero)
+	fb.Jmp(bCont)
+	fb.SetBlock(notLast)
+	fb.Store(node, 4, next)
+	fb.Jmp(bCont)
+	fb.SetBlock(bCont)
+	fb.StoreSlot(iS, isLast)
+	fb.Jmp(build)
+	// Walk.
+	walk := fb.NewBlock()
+	wBody := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.SetBlock(walkInit)
+	sumS := fb.NewSlot()
+	curS := fb.NewSlot()
+	fb.StoreSlot(sumS, fb.Const(0))
+	head := fb.GlobalAddr(arena, 0)
+	fb.StoreSlot(curS, head)
+	fb.Jmp(walk)
+	fb.SetBlock(walk)
+	cur := fb.LoadSlot(curS)
+	fb.BrImm(isa.CondEQ, cur, 0, exit, wBody)
+	fb.SetBlock(wBody)
+	cur2 := fb.LoadSlot(curS)
+	v := fb.Load(cur2, 0)
+	s := fb.LoadSlot(sumS)
+	s2 := fb.Bin(prog.BinAdd, s, v)
+	fb.StoreSlot(sumS, s2)
+	nxt := fb.Load(cur2, 4)
+	fb.StoreSlot(curS, nxt)
+	fb.Jmp(walk)
+	fb.SetBlock(exit)
+	out := fb.LoadSlot(sumS)
+	fb.Syscall(1, out)
+	fb.Ret(out)
+	return mb.MustBuild()
+}
+
+// AddressTaken returns a module where a local's address escapes to a
+// callee that writes through the pointer — the "fixed stack slot" case PSR
+// must not relocate. main exits with the written value.
+func AddressTaken() *prog.Module {
+	mb := prog.NewModule("addrtaken")
+
+	wr := mb.Func("writeThrough", 2)
+	p, v := wr.Param(0), wr.Param(1)
+	wr.Store(p, 0, v)
+	wr.Ret(prog.NoVReg)
+
+	fb := mb.Func("main", 0)
+	s := fb.NewSlot()
+	init := fb.Const(5)
+	fb.StoreSlot(s, init)
+	addr := fb.SlotAddr(s)
+	val := fb.Const(77)
+	fb.Call("writeThrough", false, addr, val)
+	got := fb.LoadSlot(s)
+	fb.Syscall(1, got)
+	fb.Ret(got)
+	return mb.MustBuild()
+}
+
+// ManyParams returns a module with a 6-parameter function, exercising the
+// outgoing-argument area and argument homes. main exits with a weighted
+// sum of the arguments.
+func ManyParams() *prog.Module {
+	mb := prog.NewModule("manyparams")
+	f := mb.Func("weigh", 6)
+	acc := f.Param(0)
+	for i := 1; i < 6; i++ {
+		w := f.BinImm(prog.BinMul, f.Param(i), int32(i+1))
+		acc = f.Bin(prog.BinAdd, acc, w)
+	}
+	f.Ret(acc)
+
+	fb := mb.Func("main", 0)
+	var args []prog.VReg
+	for i := int32(1); i <= 6; i++ {
+		args = append(args, fb.Const(i))
+	}
+	r := fb.Call("weigh", true, args...)
+	fb.Syscall(1, r)
+	fb.Ret(r)
+	return mb.MustBuild()
+}
+
+// CallChain returns a module with n functions f0 -> f1 -> ... -> f(n-1),
+// each adding its index before calling the next: n distinct call sites and
+// return addresses, for exercising RAT capacity. main exits with
+// sum(0..n-1)+7.
+func CallChain(n int) *prog.Module {
+	mb := prog.NewModule("callchain")
+	name := func(i int) string { return fmt.Sprintf("f%d", i) }
+	// Declare in reverse so callees exist... forward references are fine
+	// for validation, which runs at Build time.
+	for i := 0; i < n; i++ {
+		fb := mb.Func(name(i), 1)
+		x := fb.BinImm(prog.BinAdd, fb.Param(0), int32(i))
+		if i == n-1 {
+			fb.Ret(x)
+		} else {
+			r := fb.Call(name(i+1), true, x)
+			fb.Ret(r)
+		}
+	}
+	fb := mb.Func("main", 0)
+	seed := fb.Const(7)
+	r := fb.Call(name(0), true, seed)
+	fb.Syscall(1, r)
+	fb.Ret(r)
+	return mb.MustBuild()
+}
+
+// GadgetRich returns a module shaped like real compiled code from the
+// gadget miner's perspective: many functions with loops (register
+// bindings, hence callee-save restore sequences before returns), indirect
+// calls, and large constants whose encodings contain 0xC3/0xFF bytes (the
+// source of x86's unintentional gadgets). main exits with a checksum.
+func GadgetRich(nfuncs int) *prog.Module {
+	mb := prog.NewModule("gadgetrich")
+	name := func(i int) string { return fmt.Sprintf("g%d", i) }
+	// Constants chosen so their little-endian immediates embed ret (0xC3)
+	// and jmp/call r/m (0xFF) opcode bytes at unaligned offsets.
+	juicy := []int32{0x00C3C3FF, 0x19C3FF2D, -61, 0x7FC3FF00, 0x2DC32DC3}
+	for i := 0; i < nfuncs; i++ {
+		fb := mb.Func(name(i), 1)
+		x := fb.Param(0)
+		acc := fb.Const(juicy[i%len(juicy)])
+		j := fb.Const(0)
+		loop := fb.NewBlock()
+		body := fb.NewBlock()
+		exit := fb.NewBlock()
+		fb.SetBlock(0)
+		fb.Jmp(loop)
+		fb.SetBlock(loop)
+		fb.BrImm(isa.CondLT, j, int32(3+i%5), body, exit)
+		fb.SetBlock(body)
+		t := fb.Bin(prog.BinXor, acc, x)
+		fb.BinTo(acc, prog.BinAdd, t, j)
+		fb.BinImmTo(j, prog.BinAdd, j, 1)
+		fb.Jmp(loop)
+		fb.SetBlock(exit)
+		if i+1 < nfuncs {
+			r := fb.Call(name(i+1), true, acc)
+			fb.Ret(r)
+		} else {
+			fb.Ret(acc)
+		}
+	}
+	fb := mb.Func("main", 0)
+	seed := fb.Const(0x0BADC3FF)
+	fp := fb.FuncAddr(name(0))
+	r := fb.CallInd(fp, true, seed)
+	lo := fb.BinImm(prog.BinAnd, r, 0xFF)
+	fb.Syscall(1, lo)
+	fb.Ret(lo)
+	return mb.MustBuild()
+}
+
+// All returns every test program paired with its expected exit code.
+func All() map[string]struct {
+	Mod  *prog.Module
+	Exit uint32
+} {
+	return map[string]struct {
+		Mod  *prog.Module
+		Exit uint32
+	}{
+		"sumloop":    {SumLoop(100), 4950},
+		"fib":        {Fib(12), 144},
+		"collatz":    {Collatz(27), 111},
+		"table":      {GlobalTable(), 64},
+		"nested":     {NestedLoops(9, 7), expectedNested(9, 7)},
+		"ptrchase":   {PointerChase(10), expectedChase(10)},
+		"addrtaken":  {AddressTaken(), 77},
+		"manyparams": {ManyParams(), 1 + 2*2 + 3*3 + 4*4 + 5*5 + 6*6},
+	}
+}
+
+func expectedNested(outer, inner int32) uint32 {
+	var acc uint32
+	for i := int32(0); i < outer; i++ {
+		for j := int32(0); j < inner; j++ {
+			acc += uint32(i^j) << 1
+		}
+	}
+	return acc
+}
+
+func expectedChase(n int32) uint32 {
+	var s uint32
+	for i := int32(0); i < n; i++ {
+		s += uint32(i * 3)
+	}
+	return s
+}

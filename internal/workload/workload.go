@@ -1,0 +1,364 @@
+// Package workload generates the synthetic benchmark programs standing in
+// for the paper's SPEC CPU2006 C benchmarks and the httpd case study.
+//
+// Each benchmark is produced deterministically from a named profile that
+// controls the properties the evaluation depends on: code volume (gadget
+// population), loop structure (register bindings, steady-state behavior),
+// memory intensity, call-graph shape, indirect-call density (JIT-ROP
+// surface), and constant entropy (unintentional-gadget bytes on the
+// variable-length ISA). The programs are real: they compile for both ISAs,
+// terminate, and produce deterministic checksums, so every security and
+// performance experiment runs on executable code rather than statistical
+// stand-ins.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hipstr/internal/compiler"
+	"hipstr/internal/fatbin"
+	"hipstr/internal/isa"
+	"hipstr/internal/prog"
+)
+
+// Profile parameterizes a synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed int64
+	// Funcs is the number of worker functions (drives code volume).
+	Funcs int
+	// MaxLoops bounds the loops per function; MaxTrip bounds trip counts.
+	MaxLoops int
+	MaxTrip  int
+	// Arith is the number of arithmetic ops per loop body.
+	Arith int
+	// MemOps is the number of global-array accesses per loop body.
+	MemOps int
+	// CallFanout is how many (acyclic) direct calls a function makes.
+	CallFanout int
+	// IndirectFrac is the probability a call goes through the global
+	// function-pointer table instead of being direct.
+	IndirectFrac float64
+	// DataKB sizes the global data arena.
+	DataKB int
+	// WorkIters is main's outer loop count (dynamic instruction volume).
+	WorkIters int
+	// PointerChase adds linked-list walks through the arena (mcf-style).
+	PointerChase bool
+	// ByteOps mixes in byte-granularity masking work (bzip2/httpd-style).
+	ByteOps bool
+}
+
+// Profiles returns the benchmark suite of the paper: the eight SPEC C
+// benchmarks used in the evaluation plus the httpd case study, with
+// relative shapes chosen to mirror each program's character (gobmk and
+// httpd are code-heavy; lbm and libquantum are small kernels with hot
+// loops; mcf chases pointers; bzip2 masks bytes).
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "bzip2", Seed: 101, Funcs: 34, MaxLoops: 2, MaxTrip: 24, Arith: 6, MemOps: 3, CallFanout: 2, IndirectFrac: 0.05, DataKB: 64, WorkIters: 10, ByteOps: true},
+		{Name: "gobmk", Seed: 102, Funcs: 96, MaxLoops: 2, MaxTrip: 10, Arith: 5, MemOps: 2, CallFanout: 3, IndirectFrac: 0.10, DataKB: 48, WorkIters: 6},
+		{Name: "hmmer", Seed: 103, Funcs: 40, MaxLoops: 3, MaxTrip: 18, Arith: 7, MemOps: 3, CallFanout: 2, IndirectFrac: 0.04, DataKB: 56, WorkIters: 8},
+		{Name: "lbm", Seed: 104, Funcs: 9, MaxLoops: 3, MaxTrip: 40, Arith: 10, MemOps: 4, CallFanout: 1, IndirectFrac: 0.0, DataKB: 96, WorkIters: 14},
+		{Name: "libquantum", Seed: 105, Funcs: 12, MaxLoops: 2, MaxTrip: 36, Arith: 6, MemOps: 2, CallFanout: 1, IndirectFrac: 0.0, DataKB: 24, WorkIters: 16},
+		{Name: "mcf", Seed: 106, Funcs: 22, MaxLoops: 2, MaxTrip: 20, Arith: 4, MemOps: 5, CallFanout: 2, IndirectFrac: 0.06, DataKB: 128, WorkIters: 8, PointerChase: true},
+		{Name: "milc", Seed: 107, Funcs: 28, MaxLoops: 3, MaxTrip: 22, Arith: 9, MemOps: 3, CallFanout: 2, IndirectFrac: 0.03, DataKB: 72, WorkIters: 8},
+		{Name: "sphinx3", Seed: 108, Funcs: 48, MaxLoops: 2, MaxTrip: 16, Arith: 6, MemOps: 3, CallFanout: 3, IndirectFrac: 0.08, DataKB: 64, WorkIters: 7},
+	}
+}
+
+// HTTPD returns the network-daemon case-study profile (§7.1): the largest
+// code body with heavy indirect dispatch through handler tables.
+func HTTPD() Profile {
+	return Profile{
+		Name: "httpd", Seed: 200, Funcs: 150, MaxLoops: 2, MaxTrip: 12,
+		Arith: 5, MemOps: 3, CallFanout: 3, IndirectFrac: 0.25,
+		DataKB: 96, WorkIters: 6, ByteOps: true,
+	}
+}
+
+// ProfileByName finds a profile in the suite (including httpd).
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range append(Profiles(), HTTPD()) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists the SPEC-like suite in paper order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Generate builds the benchmark module for p.
+func Generate(p Profile) *prog.Module {
+	g := &generator{
+		p:   p,
+		rng: rand.New(rand.NewSource(p.Seed)),
+		mb:  prog.NewModule(p.Name),
+	}
+	return g.run()
+}
+
+// Compile generates and compiles the benchmark in one step.
+func Compile(p Profile) (*fatbin.Binary, error) {
+	return compiler.Compile(Generate(p))
+}
+
+type generator struct {
+	p   Profile
+	rng *rand.Rand
+	mb  *prog.ModuleBuilder
+
+	arena    int // global data arena
+	fnTable  int // global function-pointer table
+	tableLen int
+}
+
+func (g *generator) run() *prog.Module {
+	p := g.p
+	g.arena = g.mb.Global("arena", uint32(p.DataKB)*1024, g.arenaInit())
+	g.tableLen = p.Funcs / 4
+	if g.tableLen < 2 {
+		g.tableLen = 2
+	}
+	g.fnTable = g.mb.Global("fntable", uint32(4*g.tableLen), nil)
+
+	names := make([]string, p.Funcs)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%03d", i)
+	}
+	for i := range names {
+		g.genWorker(names, i)
+	}
+	g.genLibcStubs()
+	g.genMain(names)
+	return g.mb.MustBuild()
+}
+
+// genLibcStubs emits the syscall wrappers every C program links: a write
+// stub (used by main for progress) and an execve stub that is never called
+// legitimately — the classic return-into-libc target, whose body also
+// provides the `int 0x80`-bearing gadgets ROP chains end with.
+func (g *generator) genLibcStubs() {
+	wr := g.mb.Func("libc_write", 1)
+	r := wr.Syscall(4, wr.Param(0))
+	wr.Ret(r)
+
+	ex := g.mb.Func("libc_execve", 3)
+	r2 := ex.Syscall(11, ex.Param(0), ex.Param(1), ex.Param(2))
+	ex.Ret(r2)
+}
+
+// arenaInit seeds the arena with deterministic pseudo-random words; for
+// pointer-chasing profiles, the first words form a linked ring.
+func (g *generator) arenaInit() []byte {
+	n := g.p.DataKB * 1024
+	b := make([]byte, n)
+	r := rand.New(rand.NewSource(g.p.Seed ^ 0xda7a))
+	for i := 0; i < n; i += 4 {
+		v := uint32(r.Int63())
+		b[i] = byte(v)
+		b[i+1] = byte(v >> 8)
+		b[i+2] = byte(v >> 16)
+		b[i+3] = byte(v >> 24)
+	}
+	if g.p.PointerChase {
+		// nodes of 8 bytes: {value, next-offset}; a shuffled ring over the
+		// first quarter of the arena.
+		nodes := n / 4 / 8
+		order := r.Perm(nodes)
+		for i := 0; i < nodes; i++ {
+			cur := order[i]
+			next := order[(i+1)%nodes]
+			off := cur * 8
+			addr := uint32(fatbin.DataBase) + uint32(next*8)
+			b[off+4] = byte(addr)
+			b[off+5] = byte(addr >> 8)
+			b[off+6] = byte(addr >> 16)
+			b[off+7] = byte(addr >> 24)
+		}
+	}
+	return b
+}
+
+// juicyConst returns a random 32-bit constant. Real compiled code is full
+// of addresses, masks, and magic numbers whose byte patterns include
+// indirect-branch and return opcodes; drawing from the full 32-bit space
+// reproduces that density.
+func (g *generator) juicyConst() int32 {
+	return int32(g.rng.Uint32())
+}
+
+// genWorker emits worker function i. Workers only call higher-numbered
+// workers, keeping the call graph acyclic and termination trivial.
+func (g *generator) genWorker(names []string, i int) {
+	p := g.p
+	fb := g.mb.Func(names[i], 1)
+	x := fb.Param(0)
+	acc := fb.Const(g.juicyConst())
+
+	nLoops := 1 + g.rng.Intn(p.MaxLoops)
+	for l := 0; l < nLoops; l++ {
+		g.genLoop(fb, acc, x, l)
+	}
+
+	// Direct and indirect calls deeper into the suite. The call graph
+	// stays acyclic: direct calls only go to higher indices, and the
+	// function-pointer table (populated from the top half of the suite)
+	// is only consulted by lower-half workers.
+	for c := 0; c < p.CallFanout; c++ {
+		lo := i + 1
+		if lo >= len(names) {
+			break
+		}
+		callee := lo + g.rng.Intn(len(names)-lo)
+		if i < len(names)/2 && g.rng.Float64() < p.IndirectFrac {
+			slot := g.rng.Intn(g.tableLen)
+			base := fb.GlobalAddr(g.fnTable, int32(4*slot))
+			fp := fb.Load(base, 0)
+			r := fb.CallInd(fp, true, acc)
+			fb.BinTo(acc, prog.BinXor, acc, r)
+		} else if g.rng.Float64() < 0.55 {
+			arg := fb.BinImm(prog.BinAnd, acc, 0xFFFF)
+			r := fb.Call(names[callee], true, arg)
+			fb.BinTo(acc, prog.BinAdd, acc, r)
+		}
+	}
+	out := fb.Bin(prog.BinXor, acc, x)
+	fb.Ret(out)
+}
+
+// genLoop emits one counted loop accumulating into acc.
+func (g *generator) genLoop(fb *prog.FuncBuilder, acc, x prog.VReg, idx int) {
+	p := g.p
+	trip := int32(2 + g.rng.Intn(p.MaxTrip))
+	j := fb.Const(0)
+	entry := fb.CurBlock()
+	head := fb.NewBlock()
+	body := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.SetBlock(entry)
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	fb.BrImm(isa.CondLT, j, trip, body, exit)
+	fb.SetBlock(body)
+	cur := acc
+	for a := 0; a < p.Arith; a++ {
+		switch g.rng.Intn(7) {
+		case 0:
+			fb.BinTo(cur, prog.BinAdd, cur, j)
+		case 1:
+			fb.BinTo(cur, prog.BinXor, cur, x)
+		case 2:
+			fb.BinImmTo(cur, prog.BinMul, cur, int32(3+g.rng.Intn(13)))
+		case 3:
+			t := fb.BinImm(prog.BinShl, cur, int32(1+g.rng.Intn(7)))
+			fb.BinTo(cur, prog.BinAdd, cur, t)
+		case 4:
+			t := fb.BinImm(prog.BinShr, cur, int32(1+g.rng.Intn(7)))
+			fb.BinTo(cur, prog.BinXor, cur, t)
+		case 5:
+			d := fb.BinImm(prog.BinOr, j, 1) // non-zero divisor
+			fb.BinTo(cur, prog.BinDiv, cur, d)
+			fb.BinImmTo(cur, prog.BinAdd, cur, g.juicyConst())
+		case 6:
+			if p.ByteOps {
+				fb.BinImmTo(cur, prog.BinAnd, cur, 0xFF)
+				fb.BinImmTo(cur, prog.BinXor, cur, int32(g.rng.Intn(256)))
+			} else {
+				fb.BinImmTo(cur, prog.BinAdd, cur, g.juicyConst())
+			}
+		}
+	}
+	words := int32(p.DataKB * 256)
+	for mo := 0; mo < p.MemOps; mo++ {
+		idxv := fb.BinImm(prog.BinAnd, cur, (words-1)&^3|3)
+		off := fb.BinImm(prog.BinMul, idxv, 4)
+		base := fb.GlobalAddr(g.arena, 0)
+		addr := fb.Bin(prog.BinAdd, base, off)
+		if g.rng.Intn(3) == 0 {
+			fb.Store(addr, 0, cur)
+		} else {
+			v := fb.Load(addr, 0)
+			fb.BinTo(cur, prog.BinAdd, cur, v)
+		}
+	}
+	if g.p.PointerChase && idx == 0 {
+		// Walk a few links of the arena ring.
+		ptr := fb.GlobalAddr(g.arena, 0)
+		pv := fb.Copy(ptr)
+		for s := 0; s < 4; s++ {
+			v := fb.Load(pv, 0)
+			fb.BinTo(cur, prog.BinXor, cur, v)
+			fb.LoadTo(pv, pv, 4)
+		}
+	}
+	fb.BinImmTo(j, prog.BinAdd, j, 1)
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+}
+
+// genMain emits the driver: it fills the function-pointer table, runs the
+// outer work loop calling into the suite, reports progress through
+// SysWrite, and exits with a checksum.
+func (g *generator) genMain(names []string) {
+	p := g.p
+	fb := g.mb.Func("main", 0)
+	// Populate the indirect-dispatch table with a deterministic sample of
+	// upper-half workers (keeps the indirect call graph acyclic).
+	tbl := fb.GlobalAddr(g.fnTable, 0)
+	half := len(names) / 2
+	perm := g.rng.Perm(len(names) - half)
+	picks := make([]int, g.tableLen)
+	for s := range picks {
+		picks[s] = half + perm[s%len(perm)]
+	}
+	sort.Ints(picks)
+	for s := 0; s < g.tableLen; s++ {
+		fp := fb.FuncAddr(names[picks[s]])
+		fb.Store(tbl, int32(4*s), fp)
+	}
+	sum := fb.Const(0)
+	it := fb.Const(0)
+	entry := fb.CurBlock()
+	head := fb.NewBlock()
+	body := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.SetBlock(entry)
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	fb.BrImm(isa.CondLT, it, int32(p.WorkIters), body, exit)
+	fb.SetBlock(body)
+	// Call a few roots directly and one through the table.
+	roots := 3
+	if roots > len(names) {
+		roots = len(names)
+	}
+	for r := 0; r < roots; r++ {
+		root := g.rng.Intn(len(names) / 2)
+		v := fb.Call(names[root], true, it)
+		fb.BinTo(sum, prog.BinAdd, sum, v)
+	}
+	slot := g.rng.Intn(g.tableLen)
+	base2 := fb.GlobalAddr(g.fnTable, int32(4*slot))
+	fp := fb.Load(base2, 0)
+	rv := fb.CallInd(fp, true, sum)
+	fb.BinTo(sum, prog.BinXor, sum, rv)
+	fb.Call("libc_write", false, sum) // progress trace
+	fb.BinImmTo(it, prog.BinAdd, it, 1)
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+	lo := fb.BinImm(prog.BinAnd, sum, 0x7FFFFFFF)
+	fb.Syscall(1, lo)
+	fb.Ret(lo)
+}

@@ -1,0 +1,136 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hipstr/internal/gadget"
+	"hipstr/internal/isa"
+	"hipstr/internal/proc"
+	"hipstr/internal/workload"
+)
+
+const maxSteps = 80_000_000
+
+func TestSuiteGeneratesAndCompiles(t *testing.T) {
+	for _, p := range append(workload.Profiles(), workload.HTTPD()) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			bin, err := workload.Compile(p)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if len(bin.Funcs) != p.Funcs+3 {
+				t.Fatalf("func count %d, want %d", len(bin.Funcs), p.Funcs+3)
+			}
+			for _, k := range isa.Kinds {
+				if len(bin.Text[k]) < 1024 {
+					t.Fatalf("%s text only %d bytes", k, len(bin.Text[k]))
+				}
+			}
+		})
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	p, _ := workload.ProfileByName("libquantum")
+	a, err := workload.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range isa.Kinds {
+		if !reflect.DeepEqual(a.Text[k], b.Text[k]) {
+			t.Fatalf("%s text differs between generations", k)
+		}
+	}
+}
+
+// TestSmallBenchmarksRunToCompletion executes the two smallest benchmarks
+// natively on both ISAs and cross-checks their behavior.
+func TestSmallBenchmarksRunToCompletion(t *testing.T) {
+	for _, name := range []string{"libquantum", "lbm"} {
+		p, _ := workload.ProfileByName(name)
+		p.WorkIters = 2 // keep the full run short for the test
+		bin, err := workload.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var exits [2]uint32
+		var traces [2][]uint32
+		for _, k := range isa.Kinds {
+			pr, err := proc.New(bin, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pr.RunToExit(maxSteps); err != nil {
+				t.Fatalf("%s on %s: %v", name, k, err)
+			}
+			exits[k] = pr.ExitCode
+			traces[k] = pr.Trace
+		}
+		if exits[isa.X86] != exits[isa.ARM] {
+			t.Fatalf("%s: exit mismatch %d vs %d", name, exits[isa.X86], exits[isa.ARM])
+		}
+		if !reflect.DeepEqual(traces[isa.X86], traces[isa.ARM]) {
+			t.Fatalf("%s: trace mismatch", name)
+		}
+		if len(traces[isa.X86]) != 2 {
+			t.Fatalf("%s: expected 2 progress writes, got %d", name, len(traces[isa.X86]))
+		}
+	}
+}
+
+// TestGadgetPopulationShape checks the suite-level properties the security
+// evaluation depends on: substantial x86 surfaces, much smaller ARM
+// surfaces, and unintentional gadgets on x86 only.
+func TestGadgetPopulationShape(t *testing.T) {
+	var x86Total, armTotal int
+	for _, name := range []string{"gobmk", "lbm", "mcf"} {
+		p, _ := workload.ProfileByName(name)
+		bin, err := workload.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gx := gadget.Mine(bin, isa.X86, 0)
+		ga := gadget.Mine(bin, isa.ARM, 0)
+		x86Total += len(gx)
+		armTotal += len(ga)
+		sx := gadget.Summarize(gx)
+		if sx.Unaligned == 0 {
+			t.Errorf("%s: no unintentional x86 gadgets", name)
+		}
+		t.Logf("%s: x86 %d (%d unaligned) vs arm %d", name, len(gx), sx.Unaligned, len(ga))
+	}
+	if x86Total < 2*armTotal {
+		t.Fatalf("x86 surface (%d) should far exceed ARM (%d)", x86Total, armTotal)
+	}
+	if x86Total < 1000 {
+		t.Fatalf("suite gadget population too small for the evaluation: %d", x86Total)
+	}
+}
+
+// TestCodeHeavyProfilesHaveMoreGadgets mirrors the paper's observation
+// that the attack surface tracks code volume (gobmk/httpd largest).
+func TestCodeHeavyProfilesHaveMoreGadgets(t *testing.T) {
+	count := func(name string) int {
+		p, _ := workload.ProfileByName(name)
+		bin, err := workload.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(gadget.Mine(bin, isa.X86, 0))
+	}
+	gobmk := count("gobmk")
+	lbm := count("lbm")
+	httpd := count("httpd")
+	if gobmk <= lbm {
+		t.Fatalf("gobmk (%d) should exceed lbm (%d)", gobmk, lbm)
+	}
+	if httpd <= lbm {
+		t.Fatalf("httpd (%d) should exceed lbm (%d)", httpd, lbm)
+	}
+}
