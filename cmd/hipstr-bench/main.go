@@ -1,6 +1,7 @@
 // Command hipstr-bench regenerates every table and figure of the paper's
 // evaluation (§6-7) and prints them as text tables. Use -quick for a
-// reduced sweep on the three smallest benchmarks.
+// reduced sweep on the three smallest benchmarks, and -metrics-out to
+// write a machine-readable metrics artifact alongside the report.
 package main
 
 import (
@@ -9,6 +10,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"hipstr"
 )
@@ -17,6 +19,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps on the three smallest benchmarks")
 	outPath := flag.String("out", "", "also write the report to this file")
 	only := flag.String("only", "", "run a single experiment (table2, fig3..fig14, httpd)")
+	metricsOut := flag.String("metrics-out", "", "write a metrics JSON artifact (per-experiment durations, run counters)")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -35,6 +38,9 @@ func main() {
 	} else {
 		s = hipstr.NewExperiments(w)
 	}
+
+	tel := hipstr.NewTelemetry()
+	durations := tel.Histogram("bench.experiment_seconds")
 
 	type exp struct {
 		name string
@@ -71,9 +77,29 @@ func main() {
 		if *only != "" && e.name != *only {
 			continue
 		}
+		start := time.Now()
 		if err := e.run(); err != nil {
+			tel.Counter("bench.experiments.failed").Inc()
 			log.Fatalf("%s: %v", e.name, err)
 		}
+		secs := time.Since(start).Seconds()
+		durations.Observe(secs)
+		tel.Gauge("bench.seconds." + e.name).Set(secs)
+		tel.Counter("bench.experiments.run").Inc()
 	}
 	fmt.Fprintln(w, "\ndone.")
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.Snapshot().WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "metrics artifact written to %s\n", *metricsOut)
+	}
 }

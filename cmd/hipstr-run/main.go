@@ -1,13 +1,19 @@
 // Command hipstr-run executes a benchmark natively or under the PSR /
-// HIPStR virtual machines and reports execution statistics.
+// HIPStR virtual machines and reports execution statistics: live stats on
+// a configurable instruction interval, a final summary, and optional
+// machine-readable telemetry (-metrics-out JSON snapshot, -trace-out JSONL
+// event stream).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"hipstr"
+	"hipstr/internal/isa"
+	"hipstr/internal/perf"
 )
 
 func main() {
@@ -15,24 +21,58 @@ func main() {
 	mode := flag.String("mode", "hipstr", "native | psr | hipstr")
 	steps := flag.Uint64("steps", 50_000_000, "instruction budget")
 	seed := flag.Int64("seed", 1, "randomization seed")
+	metricsOut := flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
+	traceOut := flag.String("trace-out", "", "stream trace events to this file as JSON lines")
+	interval := flag.Uint64("report-interval", 10_000_000, "print live stats every N instructions (0 = only at exit)")
 	flag.Parse()
+
+	tel := hipstr.NewTelemetry()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tel.Trace.AddSink(hipstr.NewJSONLTraceSink(f))
+	}
 
 	bin, err := hipstr.CompileWorkload(*name)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// runChunk executes up to n instructions; finish prints the final
+	// mode-specific summary.
+	var runChunk func(n uint64) (uint64, bool, error)
+	var finish func()
+
 	switch *mode {
 	case "native":
 		p, err := hipstr.RunNative(bin, hipstr.X86)
 		if err != nil {
 			log.Fatal(err)
 		}
-		n, err := p.Run(*steps)
-		fmt.Printf("native: %d instructions, exited=%v code=%d writes=%d err=%v\n",
-			n, p.Exited, p.ExitCode, len(p.Trace), err)
+		model := perf.NewModel(perf.CoreFor(isa.X86))
+		model.BindTelemetry(tel)
+		model.Attach(p.M)
+		runChunk = func(n uint64) (uint64, bool, error) {
+			ran, err := p.Run(n)
+			return ran, p.Exited, err
+		}
+		finish = func() {
+			fmt.Printf("native: %d instructions, exited=%v code=%d writes=%d\n",
+				model.Counts.Instrs, p.Exited, p.ExitCode, len(p.Trace))
+			fmt.Printf("  cycles=%.0f cpi=%.3f est=%.3fms on %s\n",
+				model.Cycles, model.CPI(), model.Seconds()*1e3, model.Core.Name)
+			fmt.Printf("  icache miss=%s dcache miss=%s bpred mispredict=%s\n",
+				ratio(model.ICache.Misses, model.ICache.Hits+model.ICache.Misses),
+				ratio(model.DCache.Misses, model.DCache.Hits+model.DCache.Misses),
+				ratio(model.Bpred.Mispredicts, model.Bpred.Lookups))
+		}
 	case "psr", "hipstr":
 		cfg := hipstr.Defaults()
 		cfg.DBT.Seed = *seed
+		cfg.DBT.Telemetry = tel
 		if *mode == "psr" {
 			cfg.Mode = hipstr.ModePSR
 		}
@@ -40,18 +80,96 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		n, err := s.Run(*steps)
-		fmt.Printf("%s: %d instructions, exited=%v code=%d err=%v\n",
-			*mode, n, s.Exited(), s.ExitCode(), err)
-		st := s.VM.Stats
-		fmt.Printf("  translations x86=%d arm=%d, indirect dispatches=%d\n",
-			st.Translations[hipstr.X86], st.Translations[hipstr.ARM], st.IndirectDispatch)
-		fmt.Printf("  security events=%d, migrations=%d, kills=%d, flushes=%d\n",
-			st.SecurityEvents, st.Migrations, st.Kills, st.Flushes)
-		rat := s.VM.RATOf(s.Active())
-		fmt.Printf("  RAT: %d lookups, %d misses (active core: %s)\n",
-			rat.Lookups, rat.Misses, s.Active())
+		runChunk = func(n uint64) (uint64, bool, error) {
+			ran, err := s.Run(n)
+			return ran, s.Exited(), err
+		}
+		finish = func() {
+			st := s.VM.Stats
+			fmt.Printf("%s: exited=%v code=%d\n", *mode, s.Exited(), s.ExitCode())
+			fmt.Printf("  translations x86=%d arm=%d, indirect dispatches=%d\n",
+				st.Translations[hipstr.X86], st.Translations[hipstr.ARM], st.IndirectDispatch)
+			fmt.Printf("  security events=%d, migrations=%d, kills=%d, flushes=%d\n",
+				st.SecurityEvents, st.Migrations, st.Kills, st.Flushes)
+			rat := s.VM.RATOf(s.Active())
+			fmt.Printf("  RAT: %d lookups, %d misses (active core: %s)\n",
+				rat.Lookups, rat.Misses, s.Active())
+		}
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
+
+	var total uint64
+	prev := tel.Snapshot()
+	for total < *steps {
+		chunk := *steps - total
+		if *interval != 0 && chunk > *interval {
+			chunk = *interval
+		}
+		ran, exited, err := runChunk(chunk)
+		total += ran
+		if *interval != 0 && !exited {
+			snap := tel.Snapshot()
+			reportLive(*mode, total, snap, snap.Delta(prev))
+			prev = snap
+		}
+		if err != nil {
+			fmt.Printf("stopped after %d instructions: %v\n", total, err)
+			break
+		}
+		if exited || ran == 0 {
+			break
+		}
+	}
+	finish()
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.Snapshot().WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace written to %s (%d events emitted)\n", *traceOut, tel.Trace.Emitted())
+	}
+}
+
+// reportLive prints one compact live-stats line from the current snapshot
+// and the delta since the previous report.
+func reportLive(mode string, total uint64, snap, delta hipstr.MetricsSnapshot) {
+	if mode == "native" {
+		fmt.Printf("[%12d] cycles=%.3e cpi=%.3f icache-miss=%s dcache-miss=%s bpred-mis=%s\n",
+			total,
+			snap.Gauges["perf.x86.cycles"], snap.Gauges["perf.x86.cpi"],
+			ratio(snap.Counters["perf.x86.icache.misses"],
+				snap.Counters["perf.x86.icache.hits"]+snap.Counters["perf.x86.icache.misses"]),
+			ratio(snap.Counters["perf.x86.dcache.misses"],
+				snap.Counters["perf.x86.dcache.hits"]+snap.Counters["perf.x86.dcache.misses"]),
+			ratio(snap.Counters["perf.x86.bpred.mispredicts"], snap.Counters["perf.x86.bpred.lookups"]))
+		return
+	}
+	ratLookups := snap.Counters["dbt.rat.x86.lookups"] + snap.Counters["dbt.rat.arm.lookups"]
+	ratMisses := snap.Counters["dbt.rat.x86.misses"] + snap.Counters["dbt.rat.arm.misses"]
+	fmt.Printf("[%12d] translations=%d(+%d) sec-events=%d(+%d) migrations=%d(+%d) rat-hit=%s cache-occ=%.1f%%/%.1f%%\n",
+		total,
+		snap.Counters["dbt.translations.x86"]+snap.Counters["dbt.translations.arm"],
+		delta.Counters["dbt.translations.x86"]+delta.Counters["dbt.translations.arm"],
+		snap.Counters["dbt.security_events"], delta.Counters["dbt.security_events"],
+		snap.Counters["dbt.migrations"], delta.Counters["dbt.migrations"],
+		ratio(ratLookups-ratMisses, ratLookups),
+		100*snap.Gauges["dbt.cache.x86.occupancy"], 100*snap.Gauges["dbt.cache.arm.occupancy"])
+}
+
+func ratio(num, den uint64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
 }

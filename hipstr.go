@@ -47,6 +47,7 @@ import (
 	"hipstr/internal/proc"
 	"hipstr/internal/prog"
 	"hipstr/internal/psr"
+	"hipstr/internal/telemetry"
 	"hipstr/internal/workload"
 )
 
@@ -139,6 +140,32 @@ type System = core.System
 
 // Protect boots bin under the configured defense.
 func Protect(bin *Binary, cfg Config) (*System, error) { return core.New(bin, cfg) }
+
+// Telemetry is the unified observability unit every System carries: a
+// hierarchical metrics registry (counters, gauges, log-bucketed
+// histograms) plus a structured event tracer with pluggable sinks.
+// Access it through System.Telemetry(), or create one with NewTelemetry
+// and inject it via Config.DBT.Telemetry to share a registry across
+// subsystems or attach trace sinks before boot.
+type Telemetry = telemetry.Telemetry
+
+// MetricsSnapshot is a point-in-time copy of every metric, with delta
+// semantics and JSON export.
+type MetricsSnapshot = telemetry.Snapshot
+
+// TraceEvent is one structured runtime event (translation, cache flush,
+// RAT miss, security event, policy decision, migration begin/end, ...).
+type TraceEvent = telemetry.Event
+
+// TraceSink receives every trace event as it is emitted.
+type TraceSink = telemetry.Sink
+
+// NewTelemetry returns a fresh metrics registry + event tracer pair.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewJSONLTraceSink returns a sink writing one JSON object per event to w;
+// attach it with tel.Trace.AddSink.
+func NewJSONLTraceSink(w io.Writer) *telemetry.JSONLSink { return telemetry.NewJSONLSink(w) }
 
 // Process is an unprotected native process (the baseline).
 type Process = proc.Process

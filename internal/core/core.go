@@ -12,6 +12,7 @@ import (
 	"hipstr/internal/fatbin"
 	"hipstr/internal/isa"
 	"hipstr/internal/migrate"
+	"hipstr/internal/telemetry"
 )
 
 // Mode selects which layers of the defense are active.
@@ -58,25 +59,37 @@ type System struct {
 	Engine *migrate.Engine
 	Cfg    Config
 
+	tel      *telemetry.Telemetry
 	respawns int
 }
 
-// New boots bin under the configured defense.
+// New boots bin under the configured defense. All subsystems — the PSR
+// virtual machines, the migration engine, and (when attached) the timing
+// model — report into one shared telemetry instance, taken from
+// cfg.DBT.Telemetry or created fresh.
 func New(bin *fatbin.Binary, cfg Config) (*System, error) {
 	if cfg.Mode == ModePSR {
 		cfg.DBT.MigrateProb = 0
 	}
+	if cfg.DBT.Telemetry == nil {
+		cfg.DBT.Telemetry = telemetry.New()
+	}
+	tel := cfg.DBT.Telemetry
 	vm, err := dbt.New(bin, cfg.StartISA, cfg.DBT)
 	if err != nil {
 		return nil, fmt.Errorf("core: boot: %w", err)
 	}
-	s := &System{Bin: bin, VM: vm, Cfg: cfg}
+	s := &System{Bin: bin, VM: vm, Cfg: cfg, tel: tel}
 	if cfg.Mode == ModeHIPStR {
 		s.Engine = &migrate.Engine{Policy: cfg.Migration}
+		s.Engine.BindTelemetry(tel)
 		vm.Migrator = s.Engine
 	}
 	return s, nil
 }
+
+// Telemetry returns the system-wide metrics registry and event tracer.
+func (s *System) Telemetry() *telemetry.Telemetry { return s.tel }
 
 // Run executes up to maxSteps instructions.
 func (s *System) Run(maxSteps uint64) (uint64, error) { return s.VM.Run(maxSteps) }
@@ -96,6 +109,10 @@ func (s *System) Active() isa.Kind { return s.VM.Active() }
 func (s *System) RequestPhaseMigration() {
 	if s.Engine != nil {
 		s.VM.PendingMigration = true
+		s.tel.Emit(telemetry.Event{
+			Type: telemetry.EvPolicy, ISA: s.Active().String(),
+			Detail: "phase-migration-request",
+		})
 	}
 }
 
@@ -106,6 +123,11 @@ func (s *System) RequestPhaseMigration() {
 // the paper's PSR re-randomizes, which is the property captured here).
 func (s *System) Respawn() error {
 	s.respawns++
+	s.tel.Emit(telemetry.Event{
+		Type: telemetry.EvRespawn, ISA: s.Cfg.StartISA.String(),
+		Detail: fmt.Sprintf("respawn %d", s.respawns),
+	})
+	s.tel.Gauge("core.respawns").Set(float64(s.respawns))
 	return s.VM.Respawn(s.Cfg.StartISA, s.Cfg.DBT.Seed+int64(s.respawns)*0x9E3779B9)
 }
 

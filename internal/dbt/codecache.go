@@ -39,6 +39,10 @@ type CodeCache struct {
 
 	Flushes      int
 	Translations int
+	// Lookups and Hits count Lookup calls cumulatively (they survive
+	// flushes, like the RAT's counters) for hit-ratio telemetry.
+	Lookups uint64
+	Hits    uint64
 }
 
 // NewCodeCache returns an empty code cache for ISA k.
@@ -55,8 +59,20 @@ func NewCodeCache(k isa.Kind, size uint32) *CodeCache {
 
 // Lookup returns the cache address of the translation of src.
 func (c *CodeCache) Lookup(src uint32) (uint32, bool) {
+	c.Lookups++
 	a, ok := c.srcToCache[src]
+	if ok {
+		c.Hits++
+	}
 	return a, ok
+}
+
+// HitRatio returns the fraction of Lookup calls that hit (0 before any).
+func (c *CodeCache) HitRatio() float64 {
+	if c.Lookups == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Lookups)
 }
 
 // SourceOf returns the source address a translation unit was made from.
@@ -179,6 +195,17 @@ func NewRAT(size int) *RAT {
 
 // Size returns the RAT capacity.
 func (r *RAT) Size() int { return r.size }
+
+// Entries returns the number of live entries.
+func (r *RAT) Entries() int { return len(r.entries) }
+
+// HitRatio returns the fraction of lookups that hit (0 before any).
+func (r *RAT) HitRatio() float64 {
+	if r.Lookups == 0 {
+		return 0
+	}
+	return float64(r.Lookups-r.Misses) / float64(r.Lookups)
+}
 
 // Insert records srcRet -> cacheRet, evicting the oldest entry when full.
 func (r *RAT) Insert(srcRet, cacheRet uint32) {

@@ -87,6 +87,59 @@ func TestRATPropertyQuick(t *testing.T) {
 	}
 }
 
+// TestRATEvictionAccountingFIFO is the regression test for the Evictions
+// counter and the FIFO (not LRU) replacement discipline: re-inserting a
+// live key updates its mapping in place without consuming a new FIFO slot
+// or counting an eviction, and it does NOT refresh the key's age — the
+// oldest insertion is still evicted first.
+func TestRATEvictionAccountingFIFO(t *testing.T) {
+	r := NewRAT(3)
+	r.Insert(0xA, 0xC1)
+	r.Insert(0xB, 0xC2)
+	r.Insert(0xC, 0xC3)
+	if r.Evictions != 0 {
+		t.Fatalf("evictions after filling to capacity: %d, want 0", r.Evictions)
+	}
+
+	// Re-inserting a live key is an update, not a new entry: no eviction,
+	// no capacity change.
+	r.Insert(0xA, 0xC9)
+	if r.Evictions != 0 || r.Entries() != 3 {
+		t.Fatalf("re-insert of live key: evictions=%d entries=%d, want 0/3",
+			r.Evictions, r.Entries())
+	}
+	if got, ok := r.Lookup(0xA); !ok || got != 0xC9 {
+		t.Fatalf("re-insert did not update mapping: got %#x ok=%v", got, ok)
+	}
+
+	// FIFO, not LRU: 0xA was touched most recently but inserted first, so
+	// the next insertion at capacity must evict 0xA.
+	r.Insert(0xD, 0xC4)
+	if r.Evictions != 1 {
+		t.Fatalf("evictions after first overflow: %d, want 1", r.Evictions)
+	}
+	if _, ok := r.Lookup(0xA); ok {
+		t.Fatal("FIFO violated: oldest key 0xA survived (LRU behavior)")
+	}
+	for _, k := range []uint32{0xB, 0xC, 0xD} {
+		if _, ok := r.Lookup(k); !ok {
+			t.Fatalf("live key %#x wrongly evicted", k)
+		}
+	}
+
+	// Every further insertion of a fresh key evicts exactly one live
+	// entry; the counter stays exact.
+	for i := uint32(0); i < 5; i++ {
+		r.Insert(0x100+i, 0xD00+i)
+	}
+	if r.Evictions != 6 {
+		t.Fatalf("evictions after 5 more overflows: %d, want 6", r.Evictions)
+	}
+	if r.Entries() != 3 {
+		t.Fatalf("entries %d exceed capacity 3", r.Entries())
+	}
+}
+
 func TestCodeCacheReserveAlignment(t *testing.T) {
 	c := NewCodeCache(isa.X86, 4096)
 	a1, ok := c.Reserve(10, 16)

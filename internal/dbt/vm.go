@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hipstr/internal/fatbin"
 	"hipstr/internal/isa"
@@ -11,6 +12,7 @@ import (
 	"hipstr/internal/mem"
 	"hipstr/internal/proc"
 	"hipstr/internal/psr"
+	"hipstr/internal/telemetry"
 )
 
 // ErrSecurityKill reports a software-fault-isolation termination: an
@@ -42,6 +44,11 @@ type Config struct {
 	// fires. Migration also requires a Migrator.
 	MigrateProb float64
 	Seed        int64
+	// Telemetry receives the VM's metrics and trace events. Leave nil to
+	// have the VM create a private instance; the HIPStR layer injects a
+	// shared one so the DBT, migration engine, and timing model report
+	// into a single registry.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns the paper's main configuration.
@@ -122,6 +129,10 @@ type VM struct {
 	Stats    Stats
 	Migrator Migrator
 
+	tel           *telemetry.Telemetry
+	histTranslate [2]*telemetry.Histogram
+	histUnitBytes [2]*telemetry.Histogram
+
 	// PendingMigration requests a performance-policy migration (phase
 	// change, §5.2) at the next migration-safe boundary (the next
 	// return). The flag clears once a migration succeeds.
@@ -150,6 +161,9 @@ func New(bin *fatbin.Binary, k isa.Kind, cfg Config) (*VM, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
 	vm := &VM{
 		Bin:       bin,
 		P:         p,
@@ -157,7 +171,9 @@ func New(bin *fatbin.Binary, k isa.Kind, cfg Config) (*VM, error) {
 		Rand:      psr.NewRandomizer(cfg.Seed, cfg.psrConfig()),
 		policyRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		maps:      make(map[int][2]*psr.Map),
+		tel:       cfg.Telemetry,
 	}
+	vm.registerTelemetry()
 	for _, kk := range isa.Kinds {
 		vm.caches[kk] = NewCodeCache(kk, cfg.CodeCacheSize)
 		vm.rats[kk] = NewRAT(cfg.RATSize)
@@ -210,6 +226,55 @@ func (vm *VM) Cache(k isa.Kind) *CodeCache { return vm.caches[k] }
 // RAT returns the return address table of ISA k.
 func (vm *VM) RATOf(k isa.Kind) *RAT { return vm.rats[k] }
 
+// Telemetry returns the VM's metrics registry and event tracer.
+func (vm *VM) Telemetry() *telemetry.Telemetry { return vm.tel }
+
+// registerTelemetry wires the VM into its registry. The raw Stats / RAT /
+// CodeCache fields stay the canonical (and allocation-free) counters; a
+// collector mirrors them into the registry at snapshot time, so the
+// registry always reports exactly what the legacy accessors do without
+// adding work to the dispatch loop. Only genuinely new measurements
+// (translation latency, unit sizes) are pushed directly.
+func (vm *VM) registerTelemetry() {
+	r := vm.tel.Reg
+	for _, k := range isa.Kinds {
+		vm.histTranslate[k] = r.Histogram("dbt.translate.latency_us." + k.String())
+		vm.histUnitBytes[k] = r.Histogram("dbt.translate.unit_bytes." + k.String())
+	}
+	r.RegisterCollector(func() {
+		for _, k := range isa.Kinds {
+			ks := k.String()
+			r.Counter("dbt.translations." + ks).Set(vm.Stats.Translations[k])
+			c := vm.caches[k]
+			r.Gauge("dbt.cache." + ks + ".used_bytes").Set(float64(c.Used()))
+			r.Gauge("dbt.cache." + ks + ".occupancy").Set(float64(c.Used()) / float64(c.Size))
+			r.Gauge("dbt.cache." + ks + ".units").Set(float64(c.NumUnits()))
+			r.Gauge("dbt.cache." + ks + ".indirect_targets").Set(float64(c.IndirectTargetCount()))
+			r.Counter("dbt.cache." + ks + ".lookups").Set(c.Lookups)
+			r.Counter("dbt.cache." + ks + ".hits").Set(c.Hits)
+			r.Gauge("dbt.cache." + ks + ".hit_ratio").Set(c.HitRatio())
+			rat := vm.rats[k]
+			r.Counter("dbt.rat." + ks + ".lookups").Set(rat.Lookups)
+			r.Counter("dbt.rat." + ks + ".misses").Set(rat.Misses)
+			r.Counter("dbt.rat." + ks + ".evictions").Set(rat.Evictions)
+			r.Gauge("dbt.rat." + ks + ".entries").Set(float64(rat.Entries()))
+			r.Gauge("dbt.rat." + ks + ".hit_ratio").Set(rat.HitRatio())
+		}
+		st := &vm.Stats
+		r.Counter("dbt.indirect_dispatch").Set(st.IndirectDispatch)
+		r.Counter("dbt.code_cache_misses").Set(st.CodeCacheMisses)
+		r.Counter("dbt.compulsory_misses").Set(st.CompulsoryMisses)
+		r.Counter("dbt.return_misses").Set(st.ReturnMisses)
+		r.Counter("dbt.security_events").Set(st.SecurityEvents)
+		r.Counter("dbt.migrations").Set(st.Migrations)
+		r.Counter("dbt.security_migrations").Set(st.SecurityMigrations)
+		r.Counter("dbt.chain_patches").Set(st.ChainPatches)
+		r.Counter("dbt.kills").Set(st.Kills)
+		r.Counter("dbt.flushes").Set(st.Flushes)
+		r.Counter("dbt.syscalls_forwarded").Set(st.SyscallsForwarded)
+	})
+}
+
 // MapOf returns (building on demand) the relocation map pair of fn.
 func (vm *VM) MapOf(fn *fatbin.FuncMeta) [2]*psr.Map { return vm.mapOf(fn) }
 
@@ -235,6 +300,10 @@ func (vm *VM) mapOf(fn *fatbin.FuncMeta) [2]*psr.Map {
 }
 
 func (vm *VM) flush(k isa.Kind) {
+	vm.tel.Emit(telemetry.Event{
+		Type: telemetry.EvCacheFlush, ISA: k.String(),
+		Detail: fmt.Sprintf("%d units evicted", vm.caches[k].NumUnits()),
+	})
 	vm.caches[k].Flush()
 	vm.rats[k].Flush()
 	vm.traps[k] = make(map[uint32]trapMeta)
@@ -285,6 +354,7 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 	if fn == nil {
 		return 0, fmt.Errorf("%w: %#x on %s", ErrNotText, src, k)
 	}
+	start := time.Now()
 	for attempt := 0; attempt < 2; attempt++ {
 		base := vm.caches[k].NextAddr(vm.unitAlign())
 		t := &translator{
@@ -325,6 +395,13 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 		for _, pc := range t.newCalls {
 			vm.calls[k][labels[pc.label]] = callMeta{srcRet: pc.srcRet, gen: vm.gen[k]}
 		}
+		us := float64(time.Since(start)) / float64(time.Microsecond)
+		vm.histTranslate[k].Observe(us)
+		vm.histUnitBytes[k].Observe(float64(len(code)))
+		vm.tel.Emit(telemetry.Event{
+			Type: telemetry.EvTranslate, ISA: k.String(), Addr: src, Cost: us,
+			Detail: fmt.Sprintf("%d bytes", len(code)),
+		})
 		return addr, nil
 	}
 	return 0, fmt.Errorf("dbt: unit for %#x exceeds code cache", src)
@@ -354,6 +431,10 @@ func (vm *VM) onControl(m *machine.Machine, in *isa.Inst, kind machine.ControlKi
 			if vm.Migrator.Migrate(vm, target, true) {
 				vm.PendingMigration = false
 				vm.Stats.Migrations++
+				vm.tel.Emit(telemetry.Event{
+					Type: telemetry.EvPolicy, ISA: vm.P.M.ISA.String(), Addr: target,
+					Detail: "phase-migrate",
+				})
 				return vm.P.M.PC, retAddr, nil
 			}
 		}
@@ -365,6 +446,7 @@ func (vm *VM) onControl(m *machine.Machine, in *isa.Inst, kind machine.ControlKi
 		// distinguish (paper §3.5): this is a code-cache-miss security
 		// event.
 		vm.Stats.ReturnMisses++
+		vm.tel.Emit(telemetry.Event{Type: telemetry.EvRATMiss, ISA: k.String(), Addr: target})
 		newPC, err := vm.securityEvent(k, target, true)
 		if err != nil {
 			return 0, 0, err
@@ -404,17 +486,28 @@ func (vm *VM) securityEvent(k isa.Kind, srcTarget uint32, returnBoundary bool) (
 	vm.Stats.CodeCacheMisses++
 	vm.Stats.SecurityEvents++
 	vm.LastEventTarget = srcTarget
-	srcTarget, k2, err := vm.normalizeCodeAddr(k, srcTarget)
+	vm.tel.Emit(telemetry.Event{Type: telemetry.EvSecurity, ISA: k.String(), Addr: srcTarget})
+	srcTarget, k2, err := vm.securityEventNormalize(k, srcTarget)
 	if err != nil {
-		vm.Stats.Kills++
 		return 0, err
 	}
 	k = k2
-	if vm.Migrator != nil && vm.policyRng.Float64() < vm.Cfg.MigrateProb {
-		if vm.Migrator.Migrate(vm, srcTarget, returnBoundary) {
-			vm.Stats.Migrations++
-			vm.Stats.SecurityMigrations++
-			return vm.P.M.PC, nil
+	if vm.Migrator != nil {
+		if vm.policyRng.Float64() < vm.Cfg.MigrateProb {
+			vm.tel.Emit(telemetry.Event{
+				Type: telemetry.EvPolicy, ISA: k.String(), Addr: srcTarget,
+				Detail: "security-migrate",
+			})
+			if vm.Migrator.Migrate(vm, srcTarget, returnBoundary) {
+				vm.Stats.Migrations++
+				vm.Stats.SecurityMigrations++
+				return vm.P.M.PC, nil
+			}
+		} else {
+			vm.tel.Emit(telemetry.Event{
+				Type: telemetry.EvPolicy, ISA: k.String(), Addr: srcTarget,
+				Detail: "stay",
+			})
 		}
 	}
 	pc, err := vm.require(k, srcTarget, true)
@@ -431,6 +524,20 @@ func (vm *VM) securityEvent(k isa.Kind, srcTarget uint32, returnBoundary bool) (
 	return pc, nil
 }
 
+// securityEventNormalize validates a security event's target, counting and
+// tracing the kill when validation fails.
+func (vm *VM) securityEventNormalize(k isa.Kind, srcTarget uint32) (uint32, isa.Kind, error) {
+	t2, k2, err := vm.normalizeCodeAddr(k, srcTarget)
+	if err != nil {
+		vm.Stats.Kills++
+		vm.tel.Emit(telemetry.Event{
+			Type: telemetry.EvKill, ISA: k.String(), Addr: srcTarget, Detail: err.Error(),
+		})
+		return 0, k, err
+	}
+	return t2, k2, nil
+}
+
 // normalizeCodeAddr validates a code address and, when it points into the
 // other ISA's text (a function pointer materialized before a migration),
 // maps it to the current ISA via the symbol table. Targets inside either
@@ -439,6 +546,10 @@ func (vm *VM) normalizeCodeAddr(k isa.Kind, addr uint32) (uint32, isa.Kind, erro
 	for _, kk := range isa.Kinds {
 		if vm.caches[kk].Contains(addr) {
 			vm.Stats.Kills++
+			vm.tel.Emit(telemetry.Event{
+				Type: telemetry.EvKill, ISA: k.String(), Addr: addr,
+				Detail: "indirect transfer into code cache",
+			})
 			return 0, k, fmt.Errorf("%w: indirect transfer into code cache at %#x", ErrSecurityKill, addr)
 		}
 	}
@@ -480,6 +591,10 @@ func (vm *VM) onSyscall(m *machine.Machine, vector int32) error {
 		switch vector {
 		case vecKill:
 			vm.Stats.Kills++
+			vm.tel.Emit(telemetry.Event{
+				Type: telemetry.EvKill, ISA: k.String(), Addr: key,
+				Detail: "untranslatable code reached",
+			})
 			return fmt.Errorf("%w: untranslatable code reached (trap at %#x)", ErrSecurityKill, key)
 		case vecChain:
 			return vm.handleChain(m, k, &meta)
@@ -556,9 +671,13 @@ func (vm *VM) handleIndirect(m *machine.Machine, k isa.Kind, meta *trapMeta) err
 	if !hit {
 		vm.Stats.CodeCacheMisses++
 		vm.Stats.SecurityEvents++
+		vm.tel.Emit(telemetry.Event{Type: telemetry.EvSecurity, ISA: k.String(), Addr: target})
 		cacheAddr, err = vm.require(k, target, true)
 		if err != nil {
 			vm.Stats.Kills++
+			vm.tel.Emit(telemetry.Event{
+				Type: telemetry.EvKill, ISA: k.String(), Addr: target, Detail: err.Error(),
+			})
 			return fmt.Errorf("%w: %v", ErrSecurityKill, err)
 		}
 	}
@@ -599,10 +718,21 @@ func (vm *VM) handleIndirect(m *machine.Machine, k isa.Kind, meta *trapMeta) err
 	// A missing indirect call target is a potential breach: migrate to
 	// the other ISA with some probability (paper §3.5), at the callee
 	// entry boundary.
-	if !hit && vm.Migrator != nil && vm.policyRng.Float64() < vm.Cfg.MigrateProb {
-		if vm.Migrator.MigrateEntry(vm, target) {
-			vm.Stats.Migrations++
-			vm.Stats.SecurityMigrations++
+	if !hit && vm.Migrator != nil {
+		if vm.policyRng.Float64() < vm.Cfg.MigrateProb {
+			vm.tel.Emit(telemetry.Event{
+				Type: telemetry.EvPolicy, ISA: k.String(), Addr: target,
+				Detail: "security-migrate-entry",
+			})
+			if vm.Migrator.MigrateEntry(vm, target) {
+				vm.Stats.Migrations++
+				vm.Stats.SecurityMigrations++
+			}
+		} else {
+			vm.tel.Emit(telemetry.Event{
+				Type: telemetry.EvPolicy, ISA: k.String(), Addr: target,
+				Detail: "stay",
+			})
 		}
 	}
 	return nil
@@ -628,6 +758,7 @@ func (vm *VM) handlePopPC(m *machine.Machine, k isa.Kind) error {
 		return nil
 	}
 	vm.Stats.ReturnMisses++
+	vm.tel.Emit(telemetry.Event{Type: telemetry.EvRATMiss, ISA: k.String(), Addr: srcRet})
 	newPC, err := vm.securityEvent(k, srcRet, true)
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 	"hipstr/internal/machine"
 	"hipstr/internal/proc"
 	"hipstr/internal/psr"
+	"hipstr/internal/telemetry"
 )
 
 // ErrUnsafe reports that the current execution point is not
@@ -62,10 +63,36 @@ type Engine struct {
 	Stats  Stats
 	// DebugLastErr records why the most recent attempt was refused.
 	DebugLastErr error
+
+	tel      *telemetry.Telemetry
+	histCost [2]*telemetry.Histogram // per target ISA
 }
 
 // New returns a migration engine with the default policy.
 func New() *Engine { return &Engine{Policy: DefaultPolicy()} }
+
+// BindTelemetry points the engine at a registry + tracer: per-direction
+// migration-cost histograms are pushed as migrations complete, and a
+// collector mirrors the raw Stats fields at snapshot time.
+func (e *Engine) BindTelemetry(t *telemetry.Telemetry) {
+	if t == nil || t.Reg == nil {
+		return
+	}
+	e.tel = t
+	r := t.Reg
+	for _, k := range isa.Kinds {
+		e.histCost[k] = r.Histogram("migrate.cost_us.to_" + k.String())
+	}
+	r.RegisterCollector(func() {
+		r.Counter("migrate.attempts").Set(e.Stats.Attempts)
+		r.Counter("migrate.migrations").Set(e.Stats.Migrations)
+		r.Counter("migrate.unsafe").Set(e.Stats.Unsafe)
+		r.Counter("migrate.frames_moved").Set(e.Stats.FramesMoved)
+		r.Counter("migrate.objects_moved").Set(e.Stats.ObjectsMoved)
+		r.Gauge("migrate.total_cost_us").Set(e.Stats.TotalCostMicros)
+		r.Gauge("migrate.last_cost_us").Set(e.Stats.LastCostMicros)
+	})
+}
 
 // frame describes one live stack frame discovered by the walk.
 type frame struct {
@@ -81,12 +108,15 @@ type frame struct {
 // indirect jumps).
 func (e *Engine) Migrate(vm *dbt.VM, resumeSrc uint32, boundary bool) bool {
 	e.Stats.Attempts++
+	e.tel.Emit(telemetry.Event{
+		Type: telemetry.EvMigrateBegin, ISA: vm.Active().String(), Addr: resumeSrc,
+	})
 	if err := e.migrateResume(vm, resumeSrc, boundary); err != nil {
-		e.Stats.Unsafe++
-		e.DebugLastErr = err
+		e.refused(err)
 		return false
 	}
 	e.Stats.Migrations++
+	e.completed(vm, resumeSrc)
 	return true
 }
 
@@ -94,13 +124,30 @@ func (e *Engine) Migrate(vm *dbt.VM, resumeSrc uint32, boundary bool) bool {
 // (indirect call dispatch).
 func (e *Engine) MigrateEntry(vm *dbt.VM, calleeEntry uint32) bool {
 	e.Stats.Attempts++
+	e.tel.Emit(telemetry.Event{
+		Type: telemetry.EvMigrateBegin, ISA: vm.Active().String(), Addr: calleeEntry,
+		Detail: "callee-entry",
+	})
 	if err := e.migrateEntry(vm, calleeEntry); err != nil {
-		e.Stats.Unsafe++
-		e.DebugLastErr = err
+		e.refused(err)
 		return false
 	}
 	e.Stats.Migrations++
+	e.completed(vm, calleeEntry)
 	return true
+}
+
+func (e *Engine) refused(err error) {
+	e.Stats.Unsafe++
+	e.DebugLastErr = err
+	e.tel.Emit(telemetry.Event{Type: telemetry.EvMigrateEnd, Detail: err.Error()})
+}
+
+func (e *Engine) completed(vm *dbt.VM, addr uint32) {
+	e.tel.Emit(telemetry.Event{
+		Type: telemetry.EvMigrateEnd, ISA: vm.Active().String(), Addr: addr,
+		Cost: e.Stats.LastCostMicros,
+	})
 }
 
 func (e *Engine) migrateResume(vm *dbt.VM, resumeSrc uint32, boundary bool) error {
@@ -466,6 +513,9 @@ func (e *Engine) account(target isa.Kind, frames, objects int) {
 	c := CostMicros(target, frames, objects)
 	e.Stats.LastCostMicros = c
 	e.Stats.TotalCostMicros += c
+	if e.histCost[target] != nil {
+		e.histCost[target].Observe(c)
+	}
 }
 
 func retRegOf(k isa.Kind) isa.Reg {

@@ -8,6 +8,7 @@ import (
 	"hipstr/internal/isa"
 	"hipstr/internal/machine"
 	"hipstr/internal/proc"
+	"hipstr/internal/telemetry"
 )
 
 // Measurement is a work-normalized timing result: cycles spent between two
@@ -48,6 +49,7 @@ func MeasureVM(bin *fatbin.Binary, k isa.Kind, cfg dbt.Config, warmWrites, measu
 	}
 	model := NewModel(CoreFor(k))
 	model.RATEnabled = true
+	model.BindTelemetry(vm.Telemetry())
 	model.Attach(vm.P.M)
 	m, err := measure(vm.P, model, warmWrites, measureWrites)
 	return m, vm, err
@@ -58,6 +60,7 @@ func MeasureVM(bin *fatbin.Binary, k isa.Kind, cfg dbt.Config, warmWrites, measu
 func MeasureVMWith(vm *dbt.VM, warmWrites, measureWrites int) (Measurement, error) {
 	model := NewModel(CoreFor(vm.Active()))
 	model.RATEnabled = true
+	model.BindTelemetry(vm.Telemetry())
 	model.Attach(vm.P.M)
 	return measure(vm.P, model, warmWrites, measureWrites)
 }
@@ -105,6 +108,7 @@ func MeasureVMStats(bin *fatbin.Binary, k isa.Kind, cfg dbt.Config, warmWrites, 
 func measure(p *proc.Process, model *Model, warmWrites, measureWrites int) (Measurement, error) {
 	snaps := make(map[int]Snapshot)
 	counts := make(map[int]Counts)
+	var phaseStart float64
 	orig := p.M.Syscall
 	p.M.Syscall = func(m *machine.Machine, vec int32) error {
 		before := len(p.Trace)
@@ -114,6 +118,17 @@ func measure(p *proc.Process, model *Model, warmWrites, measureWrites int) (Meas
 		if len(p.Trace) != before {
 			snaps[len(p.Trace)] = model.Snap()
 			counts[len(p.Trace)] = model.Counts
+			// Per-phase cycle accounting: each progress write closes one
+			// workload phase.
+			if model.tel != nil {
+				cyc := model.Cycles - phaseStart
+				model.histPhase.Observe(cyc)
+				model.tel.Emit(telemetry.Event{
+					Type: telemetry.EvPhase, ISA: model.Core.Name, Cost: cyc,
+					Detail: fmt.Sprintf("write %d", len(p.Trace)),
+				})
+			}
+			phaseStart = model.Cycles
 		}
 		return nil
 	}

@@ -14,6 +14,7 @@ package perf
 import (
 	"hipstr/internal/isa"
 	"hipstr/internal/machine"
+	"hipstr/internal/telemetry"
 )
 
 // CacheConfig describes one level-1 cache.
@@ -209,6 +210,9 @@ type Model struct {
 	// return (the modified return macro-op).
 	RATEnabled bool
 
+	tel       *telemetry.Telemetry
+	histPhase *telemetry.Histogram
+
 	lastJcc     *isa.Inst
 	lastJccAddr uint32
 	prevExec    machine.ExecHook
@@ -222,6 +226,38 @@ func NewModel(core CoreConfig) *Model {
 		DCache: newCacheSim(core.DCache),
 		Bpred:  newPredictor(12),
 	}
+}
+
+// BindTelemetry publishes the model's cycle accounting through t: a
+// collector mirrors the per-core counters at snapshot time (the model's
+// fields stay the canonical per-instruction accumulators — no atomics in
+// the observe path), and the measurement loop feeds a per-phase cycle
+// histogram plus phase trace events.
+func (mo *Model) BindTelemetry(t *telemetry.Telemetry) {
+	if t == nil || t.Reg == nil {
+		return
+	}
+	mo.tel = t
+	r := t.Reg
+	name := mo.Core.Name
+	mo.histPhase = r.Histogram("perf." + name + ".phase_cycles")
+	r.RegisterCollector(func() {
+		r.Gauge("perf." + name + ".cycles").Set(mo.Cycles)
+		r.Gauge("perf." + name + ".cpi").Set(mo.CPI())
+		r.Counter("perf." + name + ".instrs").Set(mo.Counts.Instrs)
+		r.Counter("perf." + name + ".loads").Set(mo.Counts.Loads)
+		r.Counter("perf." + name + ".stores").Set(mo.Counts.Stores)
+		r.Counter("perf." + name + ".branches").Set(mo.Counts.Branches)
+		r.Counter("perf." + name + ".calls").Set(mo.Counts.Calls)
+		r.Counter("perf." + name + ".returns").Set(mo.Counts.Returns)
+		r.Counter("perf." + name + ".muldiv").Set(mo.Counts.MulDiv)
+		r.Counter("perf." + name + ".icache.hits").Set(mo.ICache.Hits)
+		r.Counter("perf." + name + ".icache.misses").Set(mo.ICache.Misses)
+		r.Counter("perf." + name + ".dcache.hits").Set(mo.DCache.Hits)
+		r.Counter("perf." + name + ".dcache.misses").Set(mo.DCache.Misses)
+		r.Counter("perf." + name + ".bpred.lookups").Set(mo.Bpred.Lookups)
+		r.Counter("perf." + name + ".bpred.mispredicts").Set(mo.Bpred.Mispredicts)
+	})
 }
 
 // Attach chains the model onto the machine's execution hook. Call Detach

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b.c")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("a.b.c") != c {
+		t.Fatal("counter not deduplicated by name")
+	}
+	g := r.Gauge("a.g")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{0.5, 1, 2, 3, 1000, 0} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1006.5 {
+		t.Fatalf("sum = %v, want 1006.5", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", n)
+	}
+	// Exact powers of two land in the bucket they bound: ub(1) covers 1.
+	if got := bucketOf(1); BucketUpperBound(got) != 1 {
+		t.Fatalf("bucketOf(1) -> ub %v, want 1", BucketUpperBound(got))
+	}
+	if got := bucketOf(1.01); BucketUpperBound(got) != 2 {
+		t.Fatalf("bucketOf(1.01) -> ub %v, want 2", BucketUpperBound(got))
+	}
+	// Quantiles are monotone and bounded by the observed extremes.
+	if q := s.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %v, want 1000", q)
+	}
+	if q := s.Quantile(0.5); q < 0 || q > 1000 {
+		t.Fatalf("p50 = %v out of range", q)
+	}
+	// Huge and tiny observations clamp instead of panicking.
+	h.Observe(math.MaxFloat64)
+	h.Observe(1e-300)
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	h := r.Histogram("cost")
+	c.Add(3)
+	h.Observe(10)
+	prev := r.Snapshot()
+	c.Add(2)
+	h.Observe(20)
+	h.Observe(20)
+	r.Gauge("occ").Set(0.75)
+	d := r.Snapshot().Delta(prev)
+	if d.Counters["events"] != 2 {
+		t.Fatalf("delta counter = %d, want 2", d.Counters["events"])
+	}
+	if d.Gauges["occ"] != 0.75 {
+		t.Fatalf("delta gauge = %v, want 0.75", d.Gauges["occ"])
+	}
+	dh := d.Histograms["cost"]
+	if dh.Count != 2 || dh.Sum != 40 {
+		t.Fatalf("delta hist = %+v, want count 2 sum 40", dh)
+	}
+	var n uint64
+	for _, b := range dh.Buckets {
+		n += b.Count
+	}
+	if n != 2 {
+		t.Fatalf("delta buckets sum to %d, want 2", n)
+	}
+}
+
+func TestCollectorSync(t *testing.T) {
+	r := NewRegistry()
+	raw := uint64(0)
+	r.RegisterCollector(func() { r.Counter("raw").Set(raw) })
+	raw = 41
+	if got := r.Snapshot().Counters["raw"]; got != 41 {
+		t.Fatalf("collected = %d, want 41", got)
+	}
+	raw++
+	if got := r.Snapshot().Counters["raw"]; got != 42 {
+		t.Fatalf("collected = %d, want 42", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h").Observe(3)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back.Counters["c"] != 7 || back.Gauges["g"] != 1.25 || back.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

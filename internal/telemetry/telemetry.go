@@ -1,0 +1,61 @@
+package telemetry
+
+// Telemetry bundles one metrics registry with one event tracer — the unit
+// of observability a protected System carries. All methods are nil-safe so
+// uninstrumented construction paths (a bare migrate.Engine in a test, say)
+// need no guards.
+type Telemetry struct {
+	Reg   *Registry
+	Trace *Tracer
+}
+
+// New returns a fresh registry + tracer pair with the default ring size.
+func New() *Telemetry {
+	return &Telemetry{Reg: NewRegistry(), Trace: NewTracer(DefaultTraceCap)}
+}
+
+// Emit records a trace event; a nil receiver drops it.
+func (t *Telemetry) Emit(e Event) {
+	if t == nil || t.Trace == nil {
+		return
+	}
+	t.Trace.Emit(e)
+}
+
+// Snapshot returns the registry snapshot; a nil receiver yields an empty
+// snapshot.
+func (t *Telemetry) Snapshot() Snapshot {
+	if t == nil || t.Reg == nil {
+		return Snapshot{
+			Counters:   map[string]uint64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]HistSnapshot{},
+		}
+	}
+	return t.Reg.Snapshot()
+}
+
+// Counter is a nil-safe registry accessor (returns a detached counter on a
+// nil receiver so callers can increment unconditionally).
+func (t *Telemetry) Counter(name string) *Counter {
+	if t == nil || t.Reg == nil {
+		return &Counter{}
+	}
+	return t.Reg.Counter(name)
+}
+
+// Gauge is the nil-safe gauge accessor.
+func (t *Telemetry) Gauge(name string) *Gauge {
+	if t == nil || t.Reg == nil {
+		return &Gauge{}
+	}
+	return t.Reg.Gauge(name)
+}
+
+// Histogram is the nil-safe histogram accessor.
+func (t *Telemetry) Histogram(name string) *Histogram {
+	if t == nil || t.Reg == nil {
+		return &Histogram{}
+	}
+	return t.Reg.Histogram(name)
+}

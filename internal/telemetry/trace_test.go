@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerRingOrder(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Type: EvSecurity, Addr: uint32(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, want)
+		}
+		if e.Addr != uint32(6+i) {
+			t.Fatalf("event %d addr %d, want %d", i, e.Addr, 6+i)
+		}
+	}
+	if tr.Emitted() != 10 {
+		t.Fatalf("emitted = %d, want 10", tr.Emitted())
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(0)
+	sink := NewJSONLSink(&buf)
+	tr.AddSink(sink)
+	tr.Emit(Event{Type: EvTranslate, ISA: "x86", Addr: 0x1000, Cost: 12.5})
+	tr.Emit(Event{Type: EvMigrateEnd, ISA: "arm", Cost: 900})
+	if sink.Written() != 2 || sink.Err() != nil {
+		t.Fatalf("written=%d err=%v", sink.Written(), sink.Err())
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", n, err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", n)
+	}
+}
+
+func TestNilTelemetrySafe(t *testing.T) {
+	var tel *Telemetry
+	tel.Emit(Event{Type: EvKill})
+	tel.Counter("x").Inc()
+	tel.Gauge("y").Set(1)
+	tel.Histogram("z").Observe(1)
+	s := tel.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatal("nil telemetry leaked metrics")
+	}
+}
