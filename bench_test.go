@@ -9,6 +9,7 @@
 package hipstr_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -23,6 +24,8 @@ import (
 	"hipstr/internal/workload"
 )
 
+var ctx = context.Background()
+
 func quickSuite() *hipstr.ExperimentSuite {
 	return hipstr.NewQuickExperiments(io.Discard)
 }
@@ -30,7 +33,7 @@ func quickSuite() *hipstr.ExperimentSuite {
 func BenchmarkFig3ClassicROPSurface(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Fig3()
+		rows, err := s.Fig3(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +50,7 @@ func BenchmarkFig3ClassicROPSurface(b *testing.B) {
 func BenchmarkFig4BruteForceSurface(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Fig4()
+		rows, err := s.Fig4(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +65,7 @@ func BenchmarkFig4BruteForceSurface(b *testing.B) {
 func BenchmarkTable2BruteForce(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Table2()
+		rows, err := s.Table2(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +80,7 @@ func BenchmarkTable2BruteForce(b *testing.B) {
 func BenchmarkFig5JITROPSurface(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Fig5()
+		rows, err := s.Fig5(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +95,7 @@ func BenchmarkFig5JITROPSurface(b *testing.B) {
 func BenchmarkFig6MigrationSafety(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Fig6()
+		rows, err := s.Fig6(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +118,7 @@ func BenchmarkFig7Entropy(b *testing.B) {
 func BenchmarkFig8Tailored(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		curves, err := s.Fig8()
+		curves, err := s.Fig8(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +133,7 @@ func BenchmarkFig8Tailored(b *testing.B) {
 func BenchmarkFig9OptLevels(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Fig9()
+		rows, err := s.Fig9(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +148,7 @@ func BenchmarkFig9OptLevels(b *testing.B) {
 func BenchmarkFig10StackEntropy(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Fig10()
+		rows, err := s.Fig10(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +163,7 @@ func BenchmarkFig10StackEntropy(b *testing.B) {
 func BenchmarkFig11RATSize(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		pts, err := s.Fig11()
+		pts, err := s.Fig11(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +174,7 @@ func BenchmarkFig11RATSize(b *testing.B) {
 func BenchmarkFig12Migration(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Fig12()
+		rows, err := s.Fig12(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +191,7 @@ func BenchmarkFig12Migration(b *testing.B) {
 func BenchmarkFig13CodeCache(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		pts, err := s.Fig13()
+		pts, err := s.Fig13(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +202,7 @@ func BenchmarkFig13CodeCache(b *testing.B) {
 func BenchmarkFig14VsIsomeron(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		curves, err := s.Fig14()
+		curves, err := s.Fig14(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -220,7 +223,7 @@ func BenchmarkFig14VsIsomeron(b *testing.B) {
 func BenchmarkHTTPDCaseStudy(b *testing.B) {
 	s := quickSuite()
 	for i := 0; i < b.N; i++ {
-		res, err := s.HTTPD()
+		res, err := s.HTTPD(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,16 +1,21 @@
 // Command hipstr-bench regenerates every table and figure of the paper's
-// evaluation (§6-7) and prints them as text tables. Use -quick for a
-// reduced sweep on the three smallest benchmarks, and -metrics-out to
-// write a machine-readable metrics artifact alongside the report.
+// evaluation (§6-7) through the experiment engine: drivers come from the
+// experiment registry, each driver's independent cells fan out on a
+// bounded worker pool (-parallel), and results are exportable as both a
+// metrics artifact (-metrics-out) and per-experiment JSON result
+// artifacts (-results-out). Printed tables are byte-identical at any
+// -parallel setting. Use -quick for a reduced sweep on the three smallest
+// benchmarks and -list to see the registry.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
-	"time"
+	"os/signal"
 
 	"hipstr"
 )
@@ -18,9 +23,25 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps on the three smallest benchmarks")
 	outPath := flag.String("out", "", "also write the report to this file")
-	only := flag.String("only", "", "run a single experiment (table2, fig3..fig14, httpd)")
-	metricsOut := flag.String("metrics-out", "", "write a metrics JSON artifact (per-experiment durations, run counters)")
+	only := flag.String("only", "", "run a comma-separated subset (e.g. fig9,fig12,httpd)")
+	list := flag.Bool("list", false, "list registered experiments and exit")
+	parallel := flag.Int("parallel", 0, "worker pool per experiment (0 = GOMAXPROCS, 1 = serial)")
+	metricsOut := flag.String("metrics-out", "", "write a metrics JSON artifact (durations, run counters, per-figure series)")
+	resultsOut := flag.String("results-out", "", "write one <experiment>.json result artifact per experiment into this directory")
+	keepGoing := flag.Bool("keep-going", false, "continue with remaining experiments after a failure")
 	flag.Parse()
+
+	if *list {
+		for _, e := range hipstr.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name(), e.Description())
+		}
+		return
+	}
+
+	exps, err := hipstr.SelectExperiments(*only)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var w io.Writer = os.Stdout
 	if *outPath != "" {
@@ -38,56 +59,26 @@ func main() {
 	} else {
 		s = hipstr.NewExperiments(w)
 	}
-
+	s.Parallel = *parallel
 	tel := hipstr.NewTelemetry()
-	durations := tel.Histogram("bench.experiment_seconds")
+	s.Telemetry = tel
 
-	type exp struct {
-		name string
-		run  func() error
-	}
-	var table2Bits float64 = 30
-	exps := []exp{
-		{"fig3", func() error { _, err := s.Fig3(); return err }},
-		{"fig4", func() error { _, err := s.Fig4(); return err }},
-		{"table2", func() error {
-			rows, err := s.Table2()
-			if err == nil && len(rows) > 0 {
-				sum := 0.0
-				for _, r := range rows {
-					sum += r.EntropyBits
-				}
-				table2Bits = sum / float64(len(rows))
-			}
-			return err
-		}},
-		{"fig5", func() error { _, err := s.Fig5(); return err }},
-		{"fig6", func() error { _, err := s.Fig6(); return err }},
-		{"fig7", func() error { s.Fig7(table2Bits); return nil }},
-		{"fig8", func() error { _, err := s.Fig8(); return err }},
-		{"fig9", func() error { _, err := s.Fig9(); return err }},
-		{"fig10", func() error { _, err := s.Fig10(); return err }},
-		{"fig11", func() error { _, err := s.Fig11(); return err }},
-		{"fig12", func() error { _, err := s.Fig12(); return err }},
-		{"fig13", func() error { _, err := s.Fig13(); return err }},
-		{"fig14", func() error { _, err := s.Fig14(); return err }},
-		{"httpd", func() error { _, err := s.HTTPD(); return err }},
-	}
-	for _, e := range exps {
-		if *only != "" && e.name != *only {
-			continue
-		}
-		start := time.Now()
-		if err := e.run(); err != nil {
-			tel.Counter("bench.experiments.failed").Inc()
-			log.Fatalf("%s: %v", e.name, err)
-		}
-		secs := time.Since(start).Seconds()
-		durations.Observe(secs)
-		tel.Gauge("bench.seconds." + e.name).Set(secs)
-		tel.Counter("bench.experiments.run").Inc()
+	// Ctrl-C cancels mid-sweep: in-flight cells finish, the rest are
+	// skipped, and the run reports the cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	results, err := hipstr.RunExperiments(ctx, s, exps, hipstr.ExperimentOptions{
+		ResultsDir:      *resultsOut,
+		ContinueOnError: *keepGoing,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Fprintln(w, "\ndone.")
+	if *resultsOut != "" {
+		fmt.Fprintf(w, "%d result artifacts written to %s\n", len(results), *resultsOut)
+	}
 
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"log"
 	"os"
 
@@ -13,7 +14,7 @@ import (
 
 func main() {
 	s := hipstr.NewQuickExperiments(os.Stdout)
-	if _, err := s.HTTPD(); err != nil {
+	if _, err := s.HTTPD(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }

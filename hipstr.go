@@ -31,6 +31,7 @@
 package hipstr
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -239,7 +240,9 @@ func MeasureNative(bin *Binary, k ISA, warm, measure int) (Measurement, error) {
 	return perf.MeasureNative(bin, k, warm, measure)
 }
 
-// ExperimentSuite regenerates the paper's tables and figures.
+// ExperimentSuite regenerates the paper's tables and figures. Set
+// Parallel to bound the per-driver worker pool (0 = GOMAXPROCS, 1 =
+// serial) and Telemetry to export every figure's raw series as metrics.
 type ExperimentSuite = experiments.Suite
 
 // NewExperiments returns the full-suite experiment driver writing
@@ -248,3 +251,30 @@ func NewExperiments(w io.Writer) *ExperimentSuite { return experiments.NewSuite(
 
 // NewQuickExperiments returns a reduced suite for fast runs.
 func NewQuickExperiments(w io.Writer) *ExperimentSuite { return experiments.QuickSuite(w) }
+
+// Experiment is one registered evaluation driver: named, self-describing,
+// and runnable by the experiment engine.
+type Experiment = experiments.Experiment
+
+// ExperimentResult is one driver's structured rows plus run metadata — the
+// schema of the per-experiment JSON result artifacts.
+type ExperimentResult = experiments.Result
+
+// ExperimentOptions configures an engine run (result artifact directory,
+// error policy).
+type ExperimentOptions = experiments.Options
+
+// Experiments returns every registered experiment in evaluation order.
+func Experiments() []Experiment { return experiments.All() }
+
+// SelectExperiments resolves a comma-separated experiment name list; an
+// empty string selects the full evaluation.
+func SelectExperiments(names string) ([]Experiment, error) { return experiments.Select(names) }
+
+// RunExperiments executes exps against s on the experiment engine:
+// per-driver sweeps fan out on s.Parallel workers with deterministic
+// output, rows are published into s.Telemetry, and each experiment can
+// write a JSON result artifact. Cancel ctx to stop mid-sweep.
+func RunExperiments(ctx context.Context, s *ExperimentSuite, exps []Experiment, opts ExperimentOptions) ([]ExperimentResult, error) {
+	return experiments.Run(ctx, s, exps, opts)
+}

@@ -72,7 +72,7 @@ func New(bin *fatbin.Binary, cfg Config) (*System, error) {
 		cfg.DBT.MigrateProb = 0
 	}
 	if cfg.DBT.Telemetry == nil {
-		cfg.DBT.Telemetry = telemetry.New()
+		cfg.DBT.Telemetry = telemetry.NewWithTraceCap(cfg.DBT.TraceCap)
 	}
 	tel := cfg.DBT.Telemetry
 	vm, err := dbt.New(bin, cfg.StartISA, cfg.DBT)

@@ -108,3 +108,25 @@ func TestTelemetrySharedInstance(t *testing.T) {
 		t.Fatal("shared registry saw no metrics")
 	}
 }
+
+// TestTraceCapConfigurable checks Config.TraceCap sizes the private
+// tracer's ring, and that zero keeps the 4096 default.
+func TestTraceCapConfigurable(t *testing.T) {
+	bin, _ := compile(t, "addrtaken")
+	cfg := dbt.DefaultConfig()
+	cfg.TraceCap = 64
+	vm, err := dbt.New(bin, isa.X86, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Telemetry().Trace.Cap(); got != 64 {
+		t.Fatalf("trace cap = %d, want 64", got)
+	}
+	vm, err = dbt.New(bin, isa.X86, dbt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Telemetry().Trace.Cap(); got != telemetry.DefaultTraceCap {
+		t.Fatalf("default trace cap = %d, want %d", got, telemetry.DefaultTraceCap)
+	}
+}

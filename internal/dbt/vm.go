@@ -49,6 +49,11 @@ type Config struct {
 	// shared one so the DBT, migration engine, and timing model report
 	// into a single registry.
 	Telemetry *telemetry.Telemetry
+	// TraceCap bounds the event tracer's ring buffer when the VM creates
+	// its own Telemetry (long-run trace analysis without a sink needs a
+	// deeper ring). Zero or negative selects telemetry.DefaultTraceCap;
+	// ignored when Telemetry is injected.
+	TraceCap int
 }
 
 // DefaultConfig returns the paper's main configuration.
@@ -162,7 +167,7 @@ func New(bin *fatbin.Binary, k isa.Kind, cfg Config) (*VM, error) {
 		return nil, err
 	}
 	if cfg.Telemetry == nil {
-		cfg.Telemetry = telemetry.New()
+		cfg.Telemetry = telemetry.NewWithTraceCap(cfg.TraceCap)
 	}
 	vm := &VM{
 		Bin:       bin,

@@ -1,17 +1,23 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§7) on the synthetic benchmark suite: each driver returns a
-// structured result and can print the same rows/series the paper reports.
+// evaluation (§7) on the synthetic benchmark suite. Each driver is
+// registered as an Experiment (registry.go) and executed through the
+// engine (engine.go): its independent per-workload / per-sweep-point cells
+// fan out on a bounded worker pool, its structured rows are published into
+// the telemetry registry and written as JSON result artifacts, and its
+// printed tables are byte-identical regardless of scheduling.
 // EXPERIMENTS.md records paper-vs-measured for each.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"hipstr/internal/compiler"
 	"hipstr/internal/fatbin"
 	"hipstr/internal/gadget"
 	"hipstr/internal/prog"
+	"hipstr/internal/telemetry"
 	"hipstr/internal/workload"
 )
 
@@ -24,9 +30,17 @@ type Suite struct {
 	Quick bool
 	// Out receives human-readable tables (nil discards).
 	Out io.Writer
+	// Parallel bounds the worker pool each driver fans its independent
+	// cells out on: 1 runs fully serial, 0 (the default) uses
+	// runtime.GOMAXPROCS. Printed output is byte-identical either way.
+	Parallel int
+	// Telemetry, when set, receives each driver's structured series as
+	// gauges plus the engine's run counters and timings.
+	Telemetry *telemetry.Telemetry
 
-	bins map[string]*fatbin.Binary
-	mods map[string]*prog.Module
+	mu          sync.Mutex
+	bins        map[string]*binEntry
+	entropyBits float64 // measured PSR entropy (set by Table2, read by Fig7)
 }
 
 // NewSuite returns a Suite over the full benchmark set.
@@ -51,35 +65,77 @@ func (s *Suite) printf(format string, args ...interface{}) {
 	}
 }
 
-// bin compiles (and caches) a benchmark.
-func (s *Suite) bin(p workload.Profile) (*fatbin.Binary, error) {
-	if s.bins == nil {
-		s.bins = make(map[string]*fatbin.Binary)
-		s.mods = make(map[string]*prog.Module)
-	}
-	if b, ok := s.bins[p.Name]; ok {
-		return b, nil
-	}
-	mod := workload.Generate(p)
-	b, err := compiler.Compile(mod)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: compile %s: %w", p.Name, err)
-	}
-	s.bins[p.Name] = b
-	s.mods[p.Name] = mod
-	return b, nil
+// binEntry is one singleflight slot of the compile cache: concurrent cells
+// requesting the same benchmark share one compilation.
+type binEntry struct {
+	once sync.Once
+	bin  *fatbin.Binary
+	mod  *prog.Module
+	err  error
 }
 
-func (s *Suite) module(name string) *prog.Module { return s.mods[name] }
+// bin compiles (and caches) a benchmark. It is safe for concurrent use:
+// the per-benchmark sync.Once guarantees a single compile no matter how
+// many cells race on the same profile.
+func (s *Suite) bin(p workload.Profile) (*fatbin.Binary, error) {
+	s.mu.Lock()
+	if s.bins == nil {
+		s.bins = make(map[string]*binEntry)
+	}
+	e, ok := s.bins[p.Name]
+	if !ok {
+		e = &binEntry{}
+		s.bins[p.Name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		mod := workload.Generate(p)
+		b, err := compiler.Compile(mod)
+		if err != nil {
+			e.err = fmt.Errorf("experiments: compile %s: %w", p.Name, err)
+			return
+		}
+		e.bin, e.mod = b, mod
+	})
+	return e.bin, e.err
+}
+
+func (s *Suite) module(name string) *prog.Module {
+	s.mu.Lock()
+	e := s.bins[name]
+	s.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	return e.mod
+}
+
+// setEntropyBits records the Table 2 measurement for Fig7.
+func (s *Suite) setEntropyBits(bits float64) {
+	s.mu.Lock()
+	s.entropyBits = bits
+	s.mu.Unlock()
+}
+
+// PSREntropyBits returns the per-gadget PSR entropy measured by Table2, or
+// the paper's ~30-bit ballpark before Table2 has run.
+func (s *Suite) PSREntropyBits() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entropyBits == 0 {
+		return 30
+	}
+	return s.entropyBits
+}
 
 // sampleGadgets bounds a gadget population in Quick mode.
 func (s *Suite) sampleGadgets(gs []gadget.Gadget) []gadget.Gadget {
-	const cap = 400
-	if !s.Quick || len(gs) <= cap {
+	const maxSample = 400
+	if !s.Quick || len(gs) <= maxSample {
 		return gs
 	}
-	step := len(gs) / cap
-	out := make([]gadget.Gadget, 0, cap)
+	step := len(gs) / maxSample
+	out := make([]gadget.Gadget, 0, maxSample)
 	for i := 0; i < len(gs); i += step {
 		out = append(out, gs[i])
 	}

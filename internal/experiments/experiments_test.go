@@ -2,6 +2,7 @@ package experiments_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -9,6 +10,8 @@ import (
 	"hipstr/internal/experiments"
 	"hipstr/internal/isa"
 )
+
+var ctx = context.Background()
 
 // The quick suite exercises every experiment driver end to end and checks
 // the paper's qualitative claims on the reduced benchmark set.
@@ -21,7 +24,7 @@ func quick(t *testing.T) (*experiments.Suite, *bytes.Buffer) {
 
 func TestFig3SurfaceReduction(t *testing.T) {
 	s, buf := quick(t)
-	rows, err := s.Fig3()
+	rows, err := s.Fig3(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func TestFig3SurfaceReduction(t *testing.T) {
 
 func TestFig4SurvivingFraction(t *testing.T) {
 	s, _ := quick(t)
-	rows, err := s.Fig4()
+	rows, err := s.Fig4(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +57,7 @@ func TestFig4SurvivingFraction(t *testing.T) {
 
 func TestTable2Infeasibility(t *testing.T) {
 	s, _ := quick(t)
-	rows, err := s.Table2()
+	rows, err := s.Table2(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func TestTable2Infeasibility(t *testing.T) {
 
 func TestFig5MigrationGating(t *testing.T) {
 	s, _ := quick(t)
-	rows, err := s.Fig5()
+	rows, err := s.Fig5(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +86,7 @@ func TestFig5MigrationGating(t *testing.T) {
 
 func TestFig6Shape(t *testing.T) {
 	s, _ := quick(t)
-	rows, err := s.Fig6()
+	rows, err := s.Fig6(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +106,7 @@ func TestFig7And8(t *testing.T) {
 	if len(pts) != 12 {
 		t.Fatal("wrong chain range")
 	}
-	curves, err := s.Fig8()
+	curves, err := s.Fig8(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +122,7 @@ func TestFig7And8(t *testing.T) {
 
 func TestFig9And10Windows(t *testing.T) {
 	s, _ := quick(t)
-	rows, err := s.Fig9()
+	rows, err := s.Fig9(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +134,7 @@ func TestFig9And10Windows(t *testing.T) {
 			t.Fatalf("%s: O2 (%.2f) regressed badly from O1 (%.2f)", r.Benchmark, r.O2, r.O1)
 		}
 	}
-	rows10, err := s.Fig10()
+	rows10, err := s.Fig10(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +148,7 @@ func TestFig9And10Windows(t *testing.T) {
 
 func TestFig11RATFree(t *testing.T) {
 	s, _ := quick(t)
-	pts, err := s.Fig11()
+	pts, err := s.Fig11(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +167,7 @@ func TestFig11RATFree(t *testing.T) {
 
 func TestFig12Asymmetry(t *testing.T) {
 	s, _ := quick(t)
-	rows, err := s.Fig12()
+	rows, err := s.Fig12(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +184,7 @@ func TestFig12Asymmetry(t *testing.T) {
 
 func TestFig13LargeCacheQuiet(t *testing.T) {
 	s, _ := quick(t)
-	pts, err := s.Fig13()
+	pts, err := s.Fig13(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +199,7 @@ func TestFig13LargeCacheQuiet(t *testing.T) {
 
 func TestFig14HIPStRWins(t *testing.T) {
 	s, buf := quick(t)
-	curves, err := s.Fig14()
+	curves, err := s.Fig14(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +227,7 @@ func TestHTTPDCaseStudy(t *testing.T) {
 		t.Skip("httpd is the largest binary")
 	}
 	s, buf := quick(t)
-	res, err := s.HTTPD()
+	res, err := s.HTTPD(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

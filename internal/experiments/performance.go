@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hipstr/internal/core"
 	"hipstr/internal/dbt"
 	"hipstr/internal/isa"
@@ -8,6 +10,7 @@ import (
 	"hipstr/internal/migrate"
 	"hipstr/internal/perf"
 	"hipstr/internal/stats"
+	"hipstr/internal/workload"
 )
 
 // measurement window (progress-write boundaries).
@@ -16,6 +19,13 @@ func (s *Suite) window() (warm, measure int) {
 		return 1, 1
 	}
 	return 1, 2
+}
+
+// forEachProfile fans one cell per benchmark out on the worker pool.
+func (s *Suite) forEachProfile(ctx context.Context, fn func(i int, p workload.Profile) error) error {
+	return s.forEach(ctx, len(s.Profiles), func(i int) error {
+		return fn(i, s.Profiles[i])
+	})
 }
 
 // Fig9Row is one benchmark of Figure 9: relative performance at each PSR
@@ -27,18 +37,18 @@ type Fig9Row struct {
 }
 
 // Fig9 measures steady-state performance at each optimization level.
-func (s *Suite) Fig9() ([]Fig9Row, error) {
+func (s *Suite) Fig9(ctx context.Context) ([]Fig9Row, error) {
 	s.header("Figure 9: Performance at PSR optimization levels (relative to native)")
 	warm, meas := s.window()
-	var rows []Fig9Row
-	for _, p := range s.Profiles {
+	rows := make([]Fig9Row, len(s.Profiles))
+	err := s.forEachProfile(ctx, func(i int, p workload.Profile) error {
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		native, err := perf.MeasureNative(bin, isa.X86, warm, meas)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig9Row{Benchmark: p.Name, NativeCPI: native.CPI}
 		for _, o := range []dbt.OptLevel{dbt.O1, dbt.O2, dbt.O3} {
@@ -48,7 +58,7 @@ func (s *Suite) Fig9() ([]Fig9Row, error) {
 			cfg.MigrateProb = 0
 			m, _, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rel := perf.Relative(native, m)
 			switch o {
@@ -60,13 +70,17 @@ func (s *Suite) Fig9() ([]Fig9Row, error) {
 				row.O3 = rel
 			}
 		}
-		rows = append(rows, row)
-		s.printf("%-12s O1 %s  O2 %s  O3 %s\n", p.Name,
-			stats.Pct(row.O1), stats.Pct(row.O2), stats.Pct(row.O3))
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var o3 []float64
-	for _, r := range rows {
-		o3 = append(o3, r.O3)
+	for _, row := range rows {
+		s.printf("%-12s O1 %s  O2 %s  O3 %s\n", row.Benchmark,
+			stats.Pct(row.O1), stats.Pct(row.O2), stats.Pct(row.O3))
+		o3 = append(o3, row.O3)
 	}
 	s.printf("average PSR-O3: %s of native (paper: 86.9%%)\n", stats.Pct(stats.Mean(o3)))
 	return rows, nil
@@ -80,32 +94,32 @@ type Fig10Row struct {
 }
 
 // Fig10 sweeps the frame randomization space (S8..S64 KiB).
-func (s *Suite) Fig10() ([]Fig10Row, error) {
+func (s *Suite) Fig10(ctx context.Context) ([]Fig10Row, error) {
 	s.header("Figure 10: Effect of additional stack memory (relative to native)")
 	warm, meas := s.window()
 	sizes := []int{2, 4, 8, 16} // pages: 8,16,32,64 KiB
-	var rows []Fig10Row
-	for _, p := range s.Profiles {
+	rows := make([]Fig10Row, len(s.Profiles))
+	err := s.forEachProfile(ctx, func(i int, p workload.Profile) error {
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		native, err := perf.MeasureNative(bin, isa.X86, warm, meas)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig10Row{Benchmark: p.Name}
-		for i, pages := range sizes {
+		for si, pages := range sizes {
 			cfg := dbt.DefaultConfig()
 			cfg.RandPages = pages
 			cfg.Seed = p.Seed
 			cfg.MigrateProb = 0
 			m, _, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rel := perf.Relative(native, m)
-			switch i {
+			switch si {
 			case 0:
 				row.S8 = rel
 			case 1:
@@ -116,8 +130,14 @@ func (s *Suite) Fig10() ([]Fig10Row, error) {
 				row.S64 = rel
 			}
 		}
-		rows = append(rows, row)
-		s.printf("%-12s S8 %s  S16 %s  S32 %s  S64 %s\n", p.Name,
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		s.printf("%-12s S8 %s  S16 %s  S32 %s  S64 %s\n", row.Benchmark,
 			stats.Pct(row.S8), stats.Pct(row.S16), stats.Pct(row.S32), stats.Pct(row.S64))
 	}
 	return rows, nil
@@ -132,37 +152,55 @@ type Fig11Point struct {
 }
 
 // Fig11 sweeps the hardware return address table size.
-func (s *Suite) Fig11() ([]Fig11Point, error) {
+func (s *Suite) Fig11(ctx context.Context) ([]Fig11Point, error) {
 	s.header("Figure 11: Effect of RAT size on performance")
 	warm, meas := s.window()
 	sizes := []int{32, 64, 128, 256, 512, 1024, 2048}
 	if s.Quick {
 		sizes = []int{32, 256, 2048}
 	}
-	base := map[string]float64{}
+	// One cell per (RAT size, benchmark) pair.
+	type cell struct {
+		cycles   float64
+		missRate float64
+		hasMiss  bool
+	}
+	np := len(s.Profiles)
+	cells := make([]cell, len(sizes)*np)
+	err := s.forEach(ctx, len(cells), func(ci int) error {
+		size, p := sizes[ci/np], s.Profiles[ci%np]
+		bin, err := s.bin(p)
+		if err != nil {
+			return err
+		}
+		cfg := dbt.DefaultConfig()
+		cfg.RATSize = size
+		cfg.Seed = p.Seed
+		cfg.MigrateProb = 0
+		m, vm, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
+		if err != nil {
+			return err
+		}
+		c := cell{cycles: m.Cycles}
+		rat := vm.RATOf(isa.X86)
+		if rat.Lookups > 0 {
+			c.missRate = float64(rat.Misses) / float64(rat.Lookups)
+			c.hasMiss = true
+		}
+		cells[ci] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var pts []Fig11Point
-	for _, size := range sizes {
+	for si, size := range sizes {
 		var overheads, missRates []float64
-		for _, p := range s.Profiles {
-			bin, err := s.bin(p)
-			if err != nil {
-				return nil, err
-			}
-			cfg := dbt.DefaultConfig()
-			cfg.RATSize = size
-			cfg.Seed = p.Seed
-			cfg.MigrateProb = 0
-			m, vm, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
-			if err != nil {
-				return nil, err
-			}
-			if size == sizes[len(sizes)-1] {
-				base[p.Name] = m.Cycles
-			}
-			overheads = append(overheads, m.Cycles)
-			rat := vm.RATOf(isa.X86)
-			if rat.Lookups > 0 {
-				missRates = append(missRates, float64(rat.Misses)/float64(rat.Lookups))
+		for pi := range s.Profiles {
+			c := cells[si*np+pi]
+			overheads = append(overheads, c.cycles)
+			if c.hasMiss {
+				missRates = append(missRates, c.missRate)
 			}
 		}
 		pts = append(pts, Fig11Point{RATSize: size,
@@ -188,66 +226,90 @@ type Fig12Row struct {
 
 // Fig12 forces migrations at random checkpoints and reports the modeled
 // state-transformation cost.
-func (s *Suite) Fig12() ([]Fig12Row, error) {
+func (s *Suite) Fig12(ctx context.Context) ([]Fig12Row, error) {
 	s.header("Figure 12: Migration overhead (microseconds)")
 	checkpoints := 10
 	if s.Quick {
 		checkpoints = 4
 	}
-	var rows []Fig12Row
-	for _, p := range s.Profiles {
+	// One cell per (benchmark, checkpoint) pair; each boots a private
+	// System, so cells only share the read-only binary.
+	type cell struct {
+		toARM, toX86 float64
+		hasARM       bool
+		hasX86       bool
+	}
+	cells := make([]cell, len(s.Profiles)*checkpoints)
+	// runToMigration advances in small slices until a migration lands
+	// (or the program ends).
+	runToMigration := func(sys *core.System) (bool, error) {
+		before := sys.Engine.Stats.Migrations
+		for i := 0; i < 400; i++ {
+			if sys.Exited() {
+				return false, nil
+			}
+			if _, err := sys.Run(5_000); err != nil {
+				return false, err
+			}
+			if sys.Engine.Stats.Migrations > before {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	err := s.forEach(ctx, len(cells), func(ci int) error {
+		p, c := s.Profiles[ci/checkpoints], ci%checkpoints
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var toARM, toX86 []float64
-		// runToMigration advances in small slices until a migration lands
-		// (or the program ends).
-		runToMigration := func(sys *core.System) (bool, error) {
-			before := sys.Engine.Stats.Migrations
-			for i := 0; i < 400; i++ {
-				if sys.Exited() {
-					return false, nil
-				}
-				if _, err := sys.Run(5_000); err != nil {
-					return false, err
-				}
-				if sys.Engine.Stats.Migrations > before {
-					return true, nil
-				}
-			}
-			return false, nil
+		cfg := core.DefaultConfig()
+		cfg.DBT.Seed = p.Seed + int64(c)
+		cfg.DBT.MigrateProb = 0 // only forced migrations
+		sys, err := core.New(bin, cfg)
+		if err != nil {
+			return err
 		}
-		for c := 0; c < checkpoints; c++ {
-			cfg := core.DefaultConfig()
-			cfg.DBT.Seed = p.Seed + int64(c)
-			cfg.DBT.MigrateProb = 0 // only forced migrations
-			sys, err := core.New(bin, cfg)
-			if err != nil {
-				return nil, err
-			}
-			// Random checkpoint: run a varying slice, then force.
-			if _, err := sys.Run(uint64(3_000 + 7_000*c)); err != nil {
-				return nil, err
-			}
-			eng := sys.Engine
-			// x86 -> ARM.
+		// Random checkpoint: run a varying slice, then force.
+		if _, err := sys.Run(uint64(3_000 + 7_000*c)); err != nil {
+			return err
+		}
+		eng := sys.Engine
+		// x86 -> ARM.
+		sys.RequestPhaseMigration()
+		ok, err := runToMigration(sys)
+		if err != nil {
+			return err
+		}
+		if ok && sys.Active() == isa.ARM {
+			cells[ci].toARM = eng.Stats.LastCostMicros
+			cells[ci].hasARM = true
+			// ARM -> x86.
 			sys.RequestPhaseMigration()
-			ok, err := runToMigration(sys)
+			ok, err = runToMigration(sys)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if ok && sys.Active() == isa.ARM {
-				toARM = append(toARM, eng.Stats.LastCostMicros)
-				// ARM -> x86.
-				sys.RequestPhaseMigration()
-				ok, err = runToMigration(sys)
-				if err != nil {
-					return nil, err
-				}
-				if ok && sys.Active() == isa.X86 {
-					toX86 = append(toX86, eng.Stats.LastCostMicros)
-				}
+			if ok && sys.Active() == isa.X86 {
+				cells[ci].toX86 = eng.Stats.LastCostMicros
+				cells[ci].hasX86 = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig12Row
+	for pi, p := range s.Profiles {
+		var toARM, toX86 []float64
+		for c := 0; c < checkpoints; c++ {
+			cl := cells[pi*checkpoints+c]
+			if cl.hasARM {
+				toARM = append(toARM, cl.toARM)
+			}
+			if cl.hasX86 {
+				toX86 = append(toX86, cl.toX86)
 			}
 		}
 		row := Fig12Row{Benchmark: p.Name,
@@ -279,37 +341,55 @@ type Fig13Point struct {
 }
 
 // Fig13 sweeps the code cache size.
-func (s *Suite) Fig13() ([]Fig13Point, error) {
+func (s *Suite) Fig13(ctx context.Context) ([]Fig13Point, error) {
 	s.header("Figure 13: Effect of code cache size on security migrations")
 	warm, meas := s.window()
 	sizes := []int{16, 32, 64, 128, 256, 768, 1536}
 	if s.Quick {
 		sizes = []int{16, 64, 1536}
 	}
+	type cell struct {
+		events, flushes uint64
+		cycles          float64
+	}
+	np := len(s.Profiles)
+	cells := make([]cell, len(sizes)*np)
+	err := s.forEach(ctx, len(cells), func(ci int) error {
+		kb, p := sizes[ci/np], s.Profiles[ci%np]
+		bin, err := s.bin(p)
+		if err != nil {
+			return err
+		}
+		cfg := dbt.DefaultConfig()
+		cfg.CodeCacheSize = uint32(kb) * 1024
+		cfg.Seed = p.Seed
+		cfg.MigrateProb = 0
+		m, vm, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
+		if err != nil {
+			return err
+		}
+		cells[ci] = cell{
+			events:  vm.Stats.CodeCacheMisses,
+			flushes: vm.Stats.Flushes,
+			cycles:  m.Cycles,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var pts []Fig13Point
 	var refCycles float64
 	for si := len(sizes) - 1; si >= 0; si-- {
-		kb := sizes[si]
 		var events, flushes uint64
 		var cycles []float64
-		for _, p := range s.Profiles {
-			bin, err := s.bin(p)
-			if err != nil {
-				return nil, err
-			}
-			cfg := dbt.DefaultConfig()
-			cfg.CodeCacheSize = uint32(kb) * 1024
-			cfg.Seed = p.Seed
-			cfg.MigrateProb = 0
-			m, vm, err := perf.MeasureVM(bin, isa.X86, cfg, warm, meas)
-			if err != nil {
-				return nil, err
-			}
-			events += vm.Stats.CodeCacheMisses
-			flushes += vm.Stats.Flushes
-			cycles = append(cycles, m.Cycles)
+		for pi := range s.Profiles {
+			c := cells[si*np+pi]
+			events += c.events
+			flushes += c.flushes
+			cycles = append(cycles, c.cycles)
 		}
-		pt := Fig13Point{CacheKB: kb, SecurityEvents: events, Flushes: flushes}
+		pt := Fig13Point{CacheKB: sizes[si], SecurityEvents: events, Flushes: flushes}
 		c := stats.Mean(cycles)
 		if si == len(sizes)-1 {
 			refCycles = c
@@ -336,7 +416,7 @@ type Fig14Curve struct {
 
 // Fig14 compares HIPStR (two cache sizes) against Isomeron and
 // PSR+Isomeron.
-func (s *Suite) Fig14() ([]Fig14Curve, error) {
+func (s *Suite) Fig14(ctx context.Context) ([]Fig14Curve, error) {
 	s.header("Figure 14: Performance comparison with Isomeron (relative to native)")
 	warm, meas := s.window()
 	ps := []float64{0, 0.25, 0.5, 0.75, 1.0}
@@ -348,55 +428,76 @@ func (s *Suite) Fig14() ([]Fig14Curve, error) {
 	for i, name := range systems {
 		curves[i] = Fig14Curve{System: name, P: ps}
 	}
-	for _, pv := range ps {
+	// One cell per (diversification probability, benchmark) pair — the
+	// paper's slowest sweep and the one that gains most from fan-out.
+	type cell struct {
+		iso, combo, hip256, hip2m float64
+	}
+	np := len(s.Profiles)
+	cells := make([]cell, len(ps)*np)
+	err := s.forEach(ctx, len(cells), func(ci int) error {
+		pv, p := ps[ci/np], s.Profiles[ci%np]
+		bin, err := s.bin(p)
+		if err != nil {
+			return err
+		}
+		native, err := perf.MeasureNative(bin, isa.X86, warm, meas)
+		if err != nil {
+			return err
+		}
+		var c cell
+		// Isomeron: modeled from the native run's call structure.
+		isoCfg := isomeron.DefaultConfig()
+		isoCfg.DiversifyProb = pv
+		c.iso = isoCfg.Apply(native).Relative
+		// PSR+Isomeron: PSR measured, Isomeron shepherding on top.
+		psrCfg := dbt.DefaultConfig()
+		psrCfg.Seed = p.Seed
+		psrCfg.MigrateProb = 0
+		psrRun, _, err := perf.MeasureVM(bin, isa.X86, psrCfg, warm, meas)
+		if err != nil {
+			return err
+		}
+		c.combo = isoCfg.CombineWithPSR(native, psrRun).Relative
+		// HIPStR: PSR plus probabilistic migration on steady-state
+		// security events. Warm caches make those events rare, so
+		// raising the diversification probability costs almost
+		// nothing — the paper's core performance argument. The
+		// event rate is measured over the steady-state window and
+		// each event charged the modeled migration cost.
+		for _, cacheKB := range []int{256, 2048} {
+			cfg := dbt.DefaultConfig()
+			cfg.Seed = p.Seed
+			cfg.CodeCacheSize = uint32(cacheKB) * 1024
+			cfg.MigrateProb = 0 // measure events; migration modeled below
+			m, delta, _, err := perf.MeasureVMStats(bin, isa.X86, cfg, warm, meas)
+			if err != nil {
+				return err
+			}
+			coreCfg := perf.CoreFor(isa.X86)
+			migCycles := migrate.CostMicros(isa.ARM, 4, 120) * coreCfg.FreqGHz * 1e3
+			extra := pv * float64(delta.CodeCacheMisses) * migCycles
+			rel := native.Cycles / (m.Cycles + extra)
+			if cacheKB == 256 {
+				c.hip256 = rel
+			} else {
+				c.hip2m = rel
+			}
+		}
+		cells[ci] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi := range ps {
 		var iso, combo, hip256, hip2m []float64
-		for _, p := range s.Profiles {
-			bin, err := s.bin(p)
-			if err != nil {
-				return nil, err
-			}
-			native, err := perf.MeasureNative(bin, isa.X86, warm, meas)
-			if err != nil {
-				return nil, err
-			}
-			// Isomeron: modeled from the native run's call structure.
-			isoCfg := isomeron.DefaultConfig()
-			isoCfg.DiversifyProb = pv
-			iso = append(iso, isoCfg.Apply(native).Relative)
-			// PSR+Isomeron: PSR measured, Isomeron shepherding on top.
-			psrCfg := dbt.DefaultConfig()
-			psrCfg.Seed = p.Seed
-			psrCfg.MigrateProb = 0
-			psrRun, _, err := perf.MeasureVM(bin, isa.X86, psrCfg, warm, meas)
-			if err != nil {
-				return nil, err
-			}
-			combo = append(combo, isoCfg.CombineWithPSR(native, psrRun).Relative)
-			// HIPStR: PSR plus probabilistic migration on steady-state
-			// security events. Warm caches make those events rare, so
-			// raising the diversification probability costs almost
-			// nothing — the paper's core performance argument. The
-			// event rate is measured over the steady-state window and
-			// each event charged the modeled migration cost.
-			for _, cacheKB := range []int{256, 2048} {
-				cfg := dbt.DefaultConfig()
-				cfg.Seed = p.Seed
-				cfg.CodeCacheSize = uint32(cacheKB) * 1024
-				cfg.MigrateProb = 0 // measure events; migration modeled below
-				m, delta, _, err := perf.MeasureVMStats(bin, isa.X86, cfg, warm, meas)
-				if err != nil {
-					return nil, err
-				}
-				coreCfg := perf.CoreFor(isa.X86)
-				migCycles := migrate.CostMicros(isa.ARM, 4, 120) * coreCfg.FreqGHz * 1e3
-				extra := pv * float64(delta.CodeCacheMisses) * migCycles
-				rel := native.Cycles / (m.Cycles + extra)
-				if cacheKB == 256 {
-					hip256 = append(hip256, rel)
-				} else {
-					hip2m = append(hip2m, rel)
-				}
-			}
+		for bi := range s.Profiles {
+			c := cells[pi*np+bi]
+			iso = append(iso, c.iso)
+			combo = append(combo, c.combo)
+			hip256 = append(hip256, c.hip256)
+			hip2m = append(hip2m, c.hip2m)
 		}
 		curves[0].Relative = append(curves[0].Relative, stats.Mean(iso))
 		curves[1].Relative = append(curves[1].Relative, stats.Mean(combo))

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hipstr/internal/attack"
 	"hipstr/internal/dbt"
 	"hipstr/internal/gadget"
@@ -24,13 +26,13 @@ type Fig3Row struct {
 // Fig3 measures the classic-ROP surface reduction: each viable gadget is
 // executed natively and under PSR translation; identical outcomes mean the
 // gadget survived unobfuscated.
-func (s *Suite) Fig3() ([]Fig3Row, error) {
+func (s *Suite) Fig3(ctx context.Context) ([]Fig3Row, error) {
 	s.header("Figure 3: Classic ROP attack surface (obfuscated vs unobfuscated)")
-	var rows []Fig3Row
-	for _, p := range s.Profiles {
+	rows := make([]Fig3Row, len(s.Profiles))
+	err := s.forEachProfile(ctx, func(i int, p workload.Profile) error {
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gs := s.sampleGadgets(gadget.Mine(bin, isa.X86, 0))
 		viable, effects := viableGadgets(bin, gs)
@@ -39,26 +41,30 @@ func (s *Suite) Fig3() ([]Fig3Row, error) {
 		cfg.Seed = p.Seed
 		vm, err := dbt.New(bin, isa.X86, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig3Row{Benchmark: p.Name, Total: len(gs), Viable: len(viable)}
-		for _, i := range viable {
-			te := gadget.TranslatedEffect(vm, &gs[i])
-			if effects[i].SameOutcome(te) {
+		for _, vi := range viable {
+			te := gadget.TranslatedEffect(vm, &gs[vi])
+			if effects[vi].SameOutcome(te) {
 				row.Unobfuscated++
 			} else {
 				row.Obfuscated++
 			}
 		}
-		rows = append(rows, row)
-		s.printf("%-12s total %6d  viable %5d  obfuscated %5d  unobfuscated %4d (%.2f%%)\n",
-			p.Name, row.Total, row.Viable, row.Obfuscated, row.Unobfuscated,
-			100*float64(row.Unobfuscated)/maxf(1, float64(row.Viable)))
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var reduc []float64
-	for _, r := range rows {
-		if r.Viable > 0 {
-			reduc = append(reduc, float64(r.Obfuscated)/float64(r.Viable))
+	for _, row := range rows {
+		s.printf("%-12s total %6d  viable %5d  obfuscated %5d  unobfuscated %4d (%.2f%%)\n",
+			row.Benchmark, row.Total, row.Viable, row.Obfuscated, row.Unobfuscated,
+			100*float64(row.Unobfuscated)/max(1, float64(row.Viable)))
+		if row.Viable > 0 {
+			reduc = append(reduc, float64(row.Obfuscated)/float64(row.Viable))
 		}
 	}
 	s.printf("average surface reduction: %s (paper: 98.04%%)\n", stats.Pct(stats.Mean(reduc)))
@@ -76,26 +82,31 @@ type Fig4Row struct {
 
 // Fig4 measures the brute-force attack surface: gadgets that still
 // populate a register with attacker data remain brute-force candidates.
-func (s *Suite) Fig4() ([]Fig4Row, error) {
+func (s *Suite) Fig4(ctx context.Context) ([]Fig4Row, error) {
 	s.header("Figure 4: Brute force attack surface (eliminated vs surviving)")
-	var rows []Fig4Row
-	for _, p := range s.Profiles {
+	rows := make([]Fig4Row, len(s.Profiles))
+	err := s.forEachProfile(ctx, func(i int, p workload.Profile) error {
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gs := s.sampleGadgets(gadget.Mine(bin, isa.X86, 0))
 		viable, _ := viableGadgets(bin, gs)
-		row := Fig4Row{
+		rows[i] = Fig4Row{
 			Benchmark:  p.Name,
 			Total:      len(gs),
 			Surviving:  len(viable),
 			Eliminated: len(gs) - len(viable),
 		}
-		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		s.printf("%-12s total %6d  eliminated %6d  surviving %5d (%.1f%%)\n",
-			p.Name, row.Total, row.Eliminated, row.Surviving,
-			100*float64(row.Surviving)/maxf(1, float64(row.Total)))
+			row.Benchmark, row.Total, row.Eliminated, row.Surviving,
+			100*float64(row.Surviving)/max(1, float64(row.Total)))
 	}
 	return rows, nil
 }
@@ -103,21 +114,32 @@ func (s *Suite) Fig4() ([]Fig4Row, error) {
 // Table2Row mirrors Table 2.
 type Table2Row = attack.BruteForceResult
 
-// Table2 runs the Algorithm 1 brute-force simulation per benchmark.
-func (s *Suite) Table2() ([]Table2Row, error) {
+// Table2 runs the Algorithm 1 brute-force simulation per benchmark. The
+// measured mean entropy feeds Fig7 when the engine runs the full sequence.
+func (s *Suite) Table2(ctx context.Context) ([]Table2Row, error) {
 	s.header("Table 2: Brute force simulation")
 	s.printf("%-12s %8s %8s %14s %14s\n", "benchmark", "params", "entropy", "attempts", "attempts(bias)")
-	var rows []Table2Row
-	for _, p := range s.Profiles {
+	rows := make([]Table2Row, len(s.Profiles))
+	err := s.forEachProfile(ctx, func(i int, p workload.Profile) error {
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r := attack.SimulateBruteForce(bin, psr.DefaultConfig(), p.Seed)
-		rows = append(rows, r)
+		rows[i] = attack.SimulateBruteForce(bin, psr.DefaultConfig(), p.Seed)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for i, r := range rows {
 		s.printf("%-12s %8.2f %7.0fb %14s %14s\n",
-			p.Name, r.AvgParams, r.EntropyBits,
+			s.Profiles[i].Name, r.AvgParams, r.EntropyBits,
 			stats.Sci(r.AttemptsNoBias), stats.Sci(r.AttemptsBias))
+		sum += r.EntropyBits
+	}
+	if len(rows) > 0 {
+		s.setEntropyBits(sum / float64(len(rows)))
 	}
 	return rows, nil
 }
@@ -130,27 +152,34 @@ type Fig5Row struct {
 }
 
 // Fig5 measures the just-in-time code-reuse surface.
-func (s *Suite) Fig5() ([]Fig5Row, error) {
+func (s *Suite) Fig5(ctx context.Context) ([]Fig5Row, error) {
 	s.header("Figure 5: JIT-ROP attack surface on (a) PSR, (b) HIPStR")
 	warm := uint64(600_000)
 	if s.Quick {
 		warm = 250_000
 	}
-	var rows []Fig5Row
-	for _, p := range s.Profiles {
+	rows := make([]Fig5Row, len(s.Profiles))
+	err := s.forEachProfile(ctx, func(i int, p workload.Profile) error {
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := dbt.DefaultConfig()
 		cfg.Seed = p.Seed
 		res, err := attack.SimulateJITROP(bin, cfg, warm)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig5Row{Benchmark: p.Name, JIT: res})
+		rows[i] = Fig5Row{Benchmark: p.Name, JIT: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res := row.JIT
 		s.printf("%-12s viable %5d  in-cache(PSR) %4d  migration-gated %4d  survive(HIPStR) %3d  exploit=%v\n",
-			p.Name, res.TotalViable, res.InCache, res.TriggerMigration,
+			row.Benchmark, res.TotalViable, res.InCache, res.TriggerMigration,
 			res.Survivors, res.SufficientForExploit)
 	}
 	return rows, nil
@@ -166,31 +195,34 @@ type Fig6Row struct {
 }
 
 // Fig6 computes migration-safety from the extended symbol table.
-func (s *Suite) Fig6() ([]Fig6Row, error) {
+func (s *Suite) Fig6(ctx context.Context) ([]Fig6Row, error) {
 	s.header("Figure 6: Percentage of migration-safe basic blocks")
-	var rows []Fig6Row
-	for _, p := range s.Profiles {
+	rows := make([]Fig6Row, len(s.Profiles))
+	err := s.forEachProfile(ctx, func(i int, p workload.Profile) error {
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		onDemand := migrate.AnalyzeSafety(bin, migrate.DefaultPolicy())
 		legacy := migrate.AnalyzeSafety(bin, migrate.Policy{OnDemand: false})
-		row := Fig6Row{
+		rows[i] = Fig6Row{
 			Benchmark: p.Name,
 			X86ToARM:  onDemand.Fraction(isa.X86),
 			ARMToX86:  onDemand.Fraction(isa.ARM),
 			LegacyX86: legacy.Fraction(isa.X86),
 			LegacyARM: legacy.Fraction(isa.ARM),
 		}
-		rows = append(rows, row)
-		s.printf("%-12s x86->arm %s  arm->x86 %s  (without on-demand: %s / %s)\n",
-			p.Name, stats.Pct(row.X86ToARM), stats.Pct(row.ARMToX86),
-			stats.Pct(row.LegacyX86), stats.Pct(row.LegacyARM))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var all []float64
-	for _, r := range rows {
-		all = append(all, r.X86ToARM, r.ARMToX86)
+	for _, row := range rows {
+		s.printf("%-12s x86->arm %s  arm->x86 %s  (without on-demand: %s / %s)\n",
+			row.Benchmark, stats.Pct(row.X86ToARM), stats.Pct(row.ARMToX86),
+			stats.Pct(row.LegacyX86), stats.Pct(row.LegacyARM))
+		all = append(all, row.X86ToARM, row.ARMToX86)
 	}
 	s.printf("average migration-safe: %s (paper: 78%%)\n", stats.Pct(stats.Mean(all)))
 	return rows, nil
@@ -232,14 +264,14 @@ type Fig8Curve struct {
 
 // Fig8 measures the tailored-attack surface vs diversification
 // probability, averaged over the suite.
-func (s *Suite) Fig8() ([]Fig8Curve, error) {
+func (s *Suite) Fig8(ctx context.Context) ([]Fig8Curve, error) {
 	s.header("Figure 8: Tailored-attack surface vs diversification probability")
-	// Aggregate immunity populations over the suite.
-	var agg attack.TailoredResult
-	for _, p := range s.Profiles {
+	// Per-benchmark immunity populations, aggregated over the suite.
+	results := make([]attack.TailoredResult, len(s.Profiles))
+	err := s.forEachProfile(ctx, func(i int, p workload.Profile) error {
 		bin, err := s.bin(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// PSR-surviving population from the Fig 5 cache analysis stands
 		// in for the in-cache surface; use the viable count scaled by the
@@ -253,8 +285,16 @@ func (s *Suite) Fig8() ([]Fig8Curve, error) {
 		}
 		res, err := attack.AnalyzeTailored(s.module(p.Name), bin, psrSurface, p.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var agg attack.TailoredResult
+	for _, res := range results {
 		agg.Viable += res.Viable
 		agg.PSRSurface += res.PSRSurface
 		agg.SameISAImmune += res.SameISAImmune
@@ -296,50 +336,52 @@ type HTTPDResult struct {
 }
 
 // HTTPD runs the network-daemon case study.
-func (s *Suite) HTTPD() (HTTPDResult, error) {
+func (s *Suite) HTTPD(ctx context.Context) (HTTPDResult, error) {
 	s.header("httpd case study (§7.1)")
-	p := workload.HTTPD()
-	bin, err := s.bin(p)
-	if err != nil {
-		return HTTPDResult{}, err
-	}
-	gs := s.sampleGadgets(gadget.Mine(bin, isa.X86, 0))
-	viable, effects := viableGadgets(bin, gs)
-	cfg := dbt.DefaultConfig()
-	cfg.MigrateProb = 0
-	cfg.Seed = p.Seed
-	vm, err := dbt.New(bin, isa.X86, cfg)
-	if err != nil {
-		return HTTPDResult{}, err
-	}
-	unobf := 0
-	for _, i := range viable {
-		te := gadget.TranslatedEffect(vm, &gs[i])
-		if effects[i].SameOutcome(te) {
-			unobf++
+	var res HTTPDResult
+	// A single cell: the case study has no inner sweep, but running it
+	// through the pool keeps cancellation and panic containment uniform.
+	err := s.forEach(ctx, 1, func(int) error {
+		p := workload.HTTPD()
+		bin, err := s.bin(p)
+		if err != nil {
+			return err
 		}
-	}
-	bf := attack.SimulateBruteForce(bin, psr.DefaultConfig(), p.Seed)
-	jit, err := attack.SimulateJITROP(bin, dbt.DefaultConfig(), 600_000)
+		gs := s.sampleGadgets(gadget.Mine(bin, isa.X86, 0))
+		viable, effects := viableGadgets(bin, gs)
+		cfg := dbt.DefaultConfig()
+		cfg.MigrateProb = 0
+		cfg.Seed = p.Seed
+		vm, err := dbt.New(bin, isa.X86, cfg)
+		if err != nil {
+			return err
+		}
+		unobf := 0
+		for _, i := range viable {
+			te := gadget.TranslatedEffect(vm, &gs[i])
+			if effects[i].SameOutcome(te) {
+				unobf++
+			}
+		}
+		bf := attack.SimulateBruteForce(bin, psr.DefaultConfig(), p.Seed)
+		jit, err := attack.SimulateJITROP(bin, dbt.DefaultConfig(), 600_000)
+		if err != nil {
+			return err
+		}
+		res = HTTPDResult{
+			Gadgets:    len(gs),
+			Obfuscated: 1 - float64(unobf)/max(1, float64(len(viable))),
+			BruteForce: bf.AttemptsNoBias,
+			JIT:        jit,
+		}
+		return nil
+	})
 	if err != nil {
 		return HTTPDResult{}, err
-	}
-	res := HTTPDResult{
-		Gadgets:    len(gs),
-		Obfuscated: 1 - float64(unobf)/maxf(1, float64(len(viable))),
-		BruteForce: bf.AttemptsNoBias,
-		JIT:        jit,
 	}
 	s.printf("gadgets %d, obfuscated %s (paper: 99.7%%), brute force %s attempts,\n",
 		res.Gadgets, stats.Pct(res.Obfuscated), stats.Sci(res.BruteForce))
 	s.printf("JIT-ROP: %d in cache (paper: 84), %d survive migration (paper: 2), exploit=%v\n",
-		jit.InCache, jit.Survivors, jit.SufficientForExploit)
+		res.JIT.InCache, res.JIT.Survivors, res.JIT.SufficientForExploit)
 	return res, nil
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

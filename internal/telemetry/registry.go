@@ -296,6 +296,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// SeriesPoint is one labeled point of an experiment series: a row of a
+// figure/table whose numeric columns should be exported as metrics.
+type SeriesPoint struct {
+	Label  string
+	Fields map[string]float64
+}
+
+// PublishSeries flattens an ordered series into gauges under prefix: each
+// point's field f becomes gauge "<prefix>.<label>.<f>" (or "<prefix>.<f>"
+// for points with an empty label). Experiment drivers use it to make a
+// figure's raw series exportable alongside the printed table.
+func (r *Registry) PublishSeries(prefix string, points []SeriesPoint) {
+	for _, p := range points {
+		base := prefix
+		if p.Label != "" {
+			base += "." + p.Label
+		}
+		for f, v := range p.Fields {
+			r.Gauge(base + "." + f).Set(v)
+		}
+	}
+}
+
 // RegisterCollector adds a callback invoked at the start of every
 // Snapshot, letting subsystems with plain (single-goroutine) counters
 // publish them lazily. Collectors must not call Snapshot.

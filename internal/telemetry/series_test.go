@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+// TestPublishSeries checks the experiment-series exporter: labeled points
+// become gauges under the prefix, unlabeled points collapse one level.
+func TestPublishSeries(t *testing.T) {
+	r := NewRegistry()
+	r.PublishSeries("experiments.fig9", []SeriesPoint{
+		{Label: "libquantum", Fields: map[string]float64{"o1": 0.5, "o3": 0.9}},
+		{Label: "mcf", Fields: map[string]float64{"o3": 0.8}},
+		{Fields: map[string]float64{"mean": 0.85}},
+	})
+	s := r.Snapshot()
+	want := map[string]float64{
+		"experiments.fig9.libquantum.o1": 0.5,
+		"experiments.fig9.libquantum.o3": 0.9,
+		"experiments.fig9.mcf.o3":        0.8,
+		"experiments.fig9.mean":          0.85,
+	}
+	for name, v := range want {
+		if got := s.Gauges[name]; got != v {
+			t.Fatalf("%s = %v, want %v", name, got, v)
+		}
+	}
+	if len(s.Gauges) != len(want) {
+		t.Fatalf("unexpected extra gauges: %v", s.Gauges)
+	}
+}
+
+// TestPublishSeriesNilSafe checks the nil-safe Telemetry path.
+func TestPublishSeriesNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.PublishSeries("x", []SeriesPoint{{Label: "a", Fields: map[string]float64{"v": 1}}})
+}
+
+// TestNewWithTraceCap checks the capacity override and its zero default.
+func TestNewWithTraceCap(t *testing.T) {
+	if got := NewWithTraceCap(128).Trace.Cap(); got != 128 {
+		t.Fatalf("cap = %d, want 128", got)
+	}
+	if got := NewWithTraceCap(0).Trace.Cap(); got != DefaultTraceCap {
+		t.Fatalf("zero cap = %d, want default %d", got, DefaultTraceCap)
+	}
+	if got := NewWithTraceCap(-7).Trace.Cap(); got != DefaultTraceCap {
+		t.Fatalf("negative cap = %d, want default %d", got, DefaultTraceCap)
+	}
+}

@@ -14,6 +14,20 @@ func New() *Telemetry {
 	return &Telemetry{Reg: NewRegistry(), Trace: NewTracer(DefaultTraceCap)}
 }
 
+// NewWithTraceCap returns a registry + tracer pair whose event ring keeps
+// the last capacity events (<= 0 selects DefaultTraceCap).
+func NewWithTraceCap(capacity int) *Telemetry {
+	return &Telemetry{Reg: NewRegistry(), Trace: NewTracer(capacity)}
+}
+
+// PublishSeries is the nil-safe series exporter (see Registry.PublishSeries).
+func (t *Telemetry) PublishSeries(prefix string, points []SeriesPoint) {
+	if t == nil || t.Reg == nil {
+		return
+	}
+	t.Reg.PublishSeries(prefix, points)
+}
+
 // Emit records a trace event; a nil receiver drops it.
 func (t *Telemetry) Emit(e Event) {
 	if t == nil || t.Trace == nil {

@@ -84,6 +84,9 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{cap: capacity}
 }
 
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int { return t.cap }
+
 // AddSink attaches a sink; it receives events emitted from now on.
 func (t *Tracer) AddSink(s Sink) {
 	t.mu.Lock()
