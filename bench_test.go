@@ -17,6 +17,8 @@ import (
 	"hipstr/internal/attack"
 	"hipstr/internal/dbt"
 	"hipstr/internal/isa"
+	"hipstr/internal/machine"
+	"hipstr/internal/mem"
 	"hipstr/internal/migrate"
 	"hipstr/internal/perf"
 	"hipstr/internal/psr"
@@ -228,6 +230,79 @@ func BenchmarkHTTPDCaseStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.JIT.Survivors), "jitrop-survivors")
+	}
+}
+
+// --- Interpreter hot loop ------------------------------------------------
+
+// interpLoop assembles a small self-contained spin loop (ALU, stack
+// store/load, call/return, compare-and-branch) and boots a bare machine on
+// it. The shape mirrors what every experiment cell spends its time on:
+// short basic blocks re-executed millions of times.
+func interpLoop(b *testing.B, k isa.Kind) *machine.Machine {
+	const (
+		textBase = 0x08048000
+		stackTop = 0x00800000
+	)
+	a := isa.NewAsm(k, textBase)
+	a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(0), Src: isa.I(0)})
+	a.Emit(isa.Inst{Op: isa.OpMov, Dst: isa.R(1), Src: isa.I(0)})
+	a.Label("loop")
+	a.Emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(0), Src: isa.I(1)})
+	a.StoreWord(0, isa.StackReg(k), 8, 2)
+	a.LoadWord(2, isa.StackReg(k), 8, 3)
+	a.Call("fn")
+	a.Emit(isa.Inst{Op: isa.OpCmp, Dst: isa.R(0), Src: isa.R(1)})
+	a.Jcc(isa.CondNE, "loop")
+	a.Emit(isa.Inst{Op: isa.OpHlt})
+	a.Label("fn")
+	a.Emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(2), Src: isa.I(3)})
+	if k == isa.X86 {
+		a.Emit(isa.Inst{Op: isa.OpRet})
+	} else {
+		a.Emit(isa.Inst{Op: isa.OpBx, Dst: isa.R(isa.LR)})
+	}
+	code, _, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ram := mem.New()
+	ram.Map("text", textBase, uint32(len(code))+mem.PageSize, mem.PermRX)
+	ram.WriteForce(textBase, code)
+	ram.Map("stack", stackTop-0x10000, 0x10000, mem.PermRW)
+	m := machine.New(k, ram)
+	m.PC = textBase
+	m.SetSP(stackTop - 32)
+	return m
+}
+
+// BenchmarkInterpreterSteps measures the raw interpreter dispatch rate:
+// ns/op is ns/step (each iteration executes exactly one instruction), and
+// the steps/s metric is the headline simulation speed. The "observed"
+// variants attach the cycle-approximate timing model, the configuration
+// every perf experiment runs under.
+func BenchmarkInterpreterSteps(b *testing.B) {
+	for _, k := range isa.Kinds {
+		run := func(name string, observed bool) {
+			b.Run(name, func(b *testing.B) {
+				m := interpLoop(b, k)
+				if observed {
+					perf.NewModel(perf.CoreFor(k)).Attach(m)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				n, err := m.Run(uint64(b.N))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != uint64(b.N) {
+					b.Fatalf("ran %d steps, want %d", n, b.N)
+				}
+				b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+		run(k.String(), false)
+		run(k.String()+"-observed", true)
 	}
 }
 

@@ -55,6 +55,14 @@ func main() {
 		model := perf.NewModel(perf.CoreFor(isa.X86))
 		model.BindTelemetry(tel)
 		model.Attach(p.M)
+		tel.Reg.RegisterCollector(func() {
+			bs := p.M.BlockStats()
+			tel.Reg.Counter("machine.blockcache.hits").Set(bs.Hits)
+			tel.Reg.Counter("machine.blockcache.misses").Set(bs.Misses)
+			tel.Reg.Counter("machine.blockcache.invalidations").Set(bs.Invalidations)
+			tel.Reg.Gauge("machine.blockcache.blocks").Set(float64(bs.Blocks))
+			tel.Reg.Gauge("machine.blockcache.hit_ratio").Set(bs.HitRatio())
+		})
 		runChunk = func(n uint64) (uint64, bool, error) {
 			ran, err := p.Run(n)
 			return ran, p.Exited, err
@@ -68,6 +76,9 @@ func main() {
 				ratio(model.ICache.Misses, model.ICache.Hits+model.ICache.Misses),
 				ratio(model.DCache.Misses, model.DCache.Hits+model.DCache.Misses),
 				ratio(model.Bpred.Mispredicts, model.Bpred.Lookups))
+			bs := p.M.BlockStats()
+			fmt.Printf("  block cache: %d blocks, hit=%s, %d invalidations\n",
+				bs.Blocks, ratio(bs.Hits, bs.Hits+bs.Misses), bs.Invalidations)
 		}
 	case "psr", "hipstr":
 		cfg := hipstr.Defaults()
@@ -94,6 +105,9 @@ func main() {
 			rat := s.VM.RATOf(s.Active())
 			fmt.Printf("  RAT: %d lookups, %d misses (active core: %s)\n",
 				rat.Lookups, rat.Misses, s.Active())
+			bs := s.VM.P.M.BlockStats()
+			fmt.Printf("  block cache: %d blocks, hit=%s, %d invalidations\n",
+				bs.Blocks, ratio(bs.Hits, bs.Hits+bs.Misses), bs.Invalidations)
 		}
 	default:
 		log.Fatalf("unknown mode %q", *mode)
@@ -144,26 +158,29 @@ func main() {
 // reportLive prints one compact live-stats line from the current snapshot
 // and the delta since the previous report.
 func reportLive(mode string, total uint64, snap, delta hipstr.MetricsSnapshot) {
+	blkHit := ratio(snap.Counters["machine.blockcache.hits"],
+		snap.Counters["machine.blockcache.hits"]+snap.Counters["machine.blockcache.misses"])
 	if mode == "native" {
-		fmt.Printf("[%12d] cycles=%.3e cpi=%.3f icache-miss=%s dcache-miss=%s bpred-mis=%s\n",
+		fmt.Printf("[%12d] cycles=%.3e cpi=%.3f icache-miss=%s dcache-miss=%s bpred-mis=%s blk-hit=%s\n",
 			total,
 			snap.Gauges["perf.x86.cycles"], snap.Gauges["perf.x86.cpi"],
 			ratio(snap.Counters["perf.x86.icache.misses"],
 				snap.Counters["perf.x86.icache.hits"]+snap.Counters["perf.x86.icache.misses"]),
 			ratio(snap.Counters["perf.x86.dcache.misses"],
 				snap.Counters["perf.x86.dcache.hits"]+snap.Counters["perf.x86.dcache.misses"]),
-			ratio(snap.Counters["perf.x86.bpred.mispredicts"], snap.Counters["perf.x86.bpred.lookups"]))
+			ratio(snap.Counters["perf.x86.bpred.mispredicts"], snap.Counters["perf.x86.bpred.lookups"]),
+			blkHit)
 		return
 	}
 	ratLookups := snap.Counters["dbt.rat.x86.lookups"] + snap.Counters["dbt.rat.arm.lookups"]
 	ratMisses := snap.Counters["dbt.rat.x86.misses"] + snap.Counters["dbt.rat.arm.misses"]
-	fmt.Printf("[%12d] translations=%d(+%d) sec-events=%d(+%d) migrations=%d(+%d) rat-hit=%s cache-occ=%.1f%%/%.1f%%\n",
+	fmt.Printf("[%12d] translations=%d(+%d) sec-events=%d(+%d) migrations=%d(+%d) rat-hit=%s blk-hit=%s cache-occ=%.1f%%/%.1f%%\n",
 		total,
 		snap.Counters["dbt.translations.x86"]+snap.Counters["dbt.translations.arm"],
 		delta.Counters["dbt.translations.x86"]+delta.Counters["dbt.translations.arm"],
 		snap.Counters["dbt.security_events"], delta.Counters["dbt.security_events"],
 		snap.Counters["dbt.migrations"], delta.Counters["dbt.migrations"],
-		ratio(ratLookups-ratMisses, ratLookups),
+		ratio(ratLookups-ratMisses, ratLookups), blkHit,
 		100*snap.Gauges["dbt.cache.x86.occupancy"], 100*snap.Gauges["dbt.cache.arm.occupancy"])
 }
 

@@ -1,0 +1,57 @@
+package dbt_test
+
+import (
+	"testing"
+
+	"hipstr/internal/compiler"
+	"hipstr/internal/dbt"
+	"hipstr/internal/isa"
+	"hipstr/internal/testprogs"
+)
+
+// TestFlushMidRunInvalidatesBlockCache forces code-cache flushes mid-run
+// (2 KiB cache, many translation units) and verifies the interpreter's
+// block cache drops its predecodes each time: stale decodes of evicted
+// units must never execute, and the invalidation/hit counters must be
+// visible through the telemetry registry.
+func TestFlushMidRunInvalidatesBlockCache(t *testing.T) {
+	mod := testprogs.CallChain(12)
+	bin, err := compiler.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dbt.DefaultConfig()
+	cfg.CodeCacheSize = 2048
+	cfg.MigrateProb = 0
+	cfg.DualTranslate = false
+	vm := runVM(t, bin, isa.X86, cfg)
+	if vm.Stats.Flushes == 0 {
+		t.Fatal("expected code cache flushes with a 2 KiB cache")
+	}
+	bs := vm.P.M.BlockStats()
+	if bs.Invalidations == 0 {
+		t.Fatal("code cache flushed but block cache never invalidated")
+	}
+	// With constant flush pressure nearly every dispatch re-decodes; the
+	// cache may legitimately never hit here, but it must keep refilling.
+	if bs.Misses == 0 {
+		t.Fatalf("block cache saw no traffic: %+v", bs)
+	}
+	want := uint32(7 + 11*12/2)
+	if vm.P.ExitCode != want {
+		t.Fatalf("result corrupted across flushes: %d != %d", vm.P.ExitCode, want)
+	}
+	s := vm.Telemetry().Snapshot()
+	for name, wantV := range map[string]uint64{
+		"machine.blockcache.hits":          bs.Hits,
+		"machine.blockcache.misses":        bs.Misses,
+		"machine.blockcache.invalidations": bs.Invalidations,
+	} {
+		if got, ok := s.Counters[name]; !ok || got != wantV {
+			t.Errorf("registry %s = %d (present=%v), want %d", name, got, ok, wantV)
+		}
+	}
+	if got := s.Gauges["machine.blockcache.hit_ratio"]; got != bs.HitRatio() {
+		t.Errorf("registry hit_ratio = %v, want %v", got, bs.HitRatio())
+	}
+}

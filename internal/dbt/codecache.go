@@ -43,6 +43,11 @@ type CodeCache struct {
 	// flushes, like the RAT's counters) for hit-ratio telemetry.
 	Lookups uint64
 	Hits    uint64
+
+	// OnFlush, when set, runs after every Flush. The PSR VM wires it to
+	// the memory's code-generation bump so interpreter block caches drop
+	// predecoded blocks of evicted translations.
+	OnFlush func()
 }
 
 // NewCodeCache returns an empty code cache for ISA k.
@@ -172,6 +177,9 @@ func (c *CodeCache) Flush() {
 	c.indirectTargets = make(map[uint32]bool)
 	c.covered = nil
 	c.Flushes++
+	if c.OnFlush != nil {
+		c.OnFlush()
+	}
 }
 
 // RAT is the hardware-maintained Return Address Table (paper §5.1): a

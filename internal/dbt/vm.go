@@ -181,6 +181,10 @@ func New(bin *fatbin.Binary, k isa.Kind, cfg Config) (*VM, error) {
 	vm.registerTelemetry()
 	for _, kk := range isa.Kinds {
 		vm.caches[kk] = NewCodeCache(kk, cfg.CodeCacheSize)
+		// A flush evicts translations without necessarily rewriting their
+		// bytes; bump the code generation so the interpreter's block cache
+		// drops its predecodes of the evicted units too.
+		vm.caches[kk].OnFlush = p.Mem.InvalidateCode
 		vm.rats[kk] = NewRAT(cfg.RATSize)
 		vm.traps[kk] = make(map[uint32]trapMeta)
 		vm.calls[kk] = make(map[uint32]callMeta)
@@ -265,6 +269,12 @@ func (vm *VM) registerTelemetry() {
 			r.Gauge("dbt.rat." + ks + ".entries").Set(float64(rat.Entries()))
 			r.Gauge("dbt.rat." + ks + ".hit_ratio").Set(rat.HitRatio())
 		}
+		bs := vm.P.M.BlockStats()
+		r.Counter("machine.blockcache.hits").Set(bs.Hits)
+		r.Counter("machine.blockcache.misses").Set(bs.Misses)
+		r.Counter("machine.blockcache.invalidations").Set(bs.Invalidations)
+		r.Gauge("machine.blockcache.blocks").Set(float64(bs.Blocks))
+		r.Gauge("machine.blockcache.hit_ratio").Set(bs.HitRatio())
 		st := &vm.Stats
 		r.Counter("dbt.indirect_dispatch").Set(st.IndirectDispatch)
 		r.Counter("dbt.code_cache_misses").Set(st.CodeCacheMisses)

@@ -247,6 +247,17 @@ type Inst struct {
 // dst = src2 op src form.
 func (in *Inst) ThreeOperand() bool { return in.Src2.Kind != OpdNone }
 
+// EndsBlock reports whether the instruction terminates a basic block for
+// predecoding purposes: any control transfer, a halt, or an ARM pop
+// multiple whose mask includes PC (a return in disguise — OpPopM is not an
+// Op.IsControl op, but it redirects the PC all the same).
+func (in *Inst) EndsBlock() bool {
+	if in.Op.IsControl() || in.Op == OpHlt {
+		return true
+	}
+	return in.Op == OpPopM && in.RegMask&(1<<PC) != 0
+}
+
 // IsReturn reports whether the instruction is a return idiom of its ISA:
 // x86 ret, ARM bx lr, or an ARM pop multiple whose mask includes PC.
 func (in *Inst) IsReturn() bool {

@@ -196,6 +196,18 @@ func isByteALImm(op byte) bool {
 	return ok
 }
 
+// Decoder-side word ALU maps (inverse of x86ALURM/MR). Package-level so
+// DecodeX86 stays allocation-free on the interpreter hot path.
+var aluRM = map[byte]Op{
+	xopAddRM: OpAdd, xopOrRM: OpOr, xopAndRM: OpAnd,
+	xopSubRM: OpSub, xopXorRM: OpXor, xopCmpRM: OpCmp, xopMovRM: OpMov,
+}
+var aluMR = map[byte]Op{
+	xopAddMR: OpAdd, xopOrMR: OpOr, xopAndMR: OpAnd,
+	xopSubMR: OpSub, xopXorMR: OpXor, xopCmpMR: OpCmp, xopMovMR: OpMov,
+	xopTestMR: OpTest,
+}
+
 // Decoder-side byte ALU maps (inverse of x86ByteMR/RM).
 var byteMROp = map[byte]Op{
 	0x00: OpAdd, 0x08: OpOr, 0x20: OpAnd, 0x28: OpSub, 0x30: OpXor,
@@ -777,11 +789,6 @@ func DecodeX86(b []byte, addr uint32) (Inst, error) {
 		return fin(1 + n)
 	}
 	// ModRM-based forms.
-	aluRM := map[byte]Op{xopAddRM: OpAdd, xopOrRM: OpOr, xopAndRM: OpAnd,
-		xopSubRM: OpSub, xopXorRM: OpXor, xopCmpRM: OpCmp, xopMovRM: OpMov}
-	aluMR := map[byte]Op{xopAddMR: OpAdd, xopOrMR: OpOr, xopAndMR: OpAnd,
-		xopSubMR: OpSub, xopXorMR: OpXor, xopCmpMR: OpCmp, xopMovMR: OpMov,
-		xopTestMR: OpTest}
 	if o, ok := aluRM[op]; ok {
 		reg, rm, n, err := decodeModRM(b[1:])
 		if err != nil {

@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"fmt"
+
+	"hipstr/internal/isa"
+)
+
+// BlockCap is the maximum number of instructions predecoded into one basic
+// block. Blocks normally end at a control transfer; straight-line runs
+// longer than this are split, which only costs an extra cache lookup at the
+// seam.
+const BlockCap = 64
+
+// maxCachedBlocks bounds each per-ISA block map. Real working sets are a
+// few hundred blocks; the cap only matters for adversarial workloads (a
+// JIT-ROP sweep decoding at every byte offset) where it keeps the cache
+// from outgrowing the program it simulates.
+const maxCachedBlocks = 1 << 14
+
+// Block is a predecoded straight-line run of instructions. Insts[0].Addr is
+// the block's start PC; execution falls off the end when the terminator is
+// a not-taken branch or the block was split at BlockCap.
+type Block struct {
+	Insts []isa.Inst
+}
+
+// BlockCacheStats is a snapshot of the interpreter block cache counters.
+type BlockCacheStats struct {
+	Hits          uint64 // block dispatches served from cache
+	Misses        uint64 // block refills (fetch + decode)
+	Invalidations uint64 // whole-cache drops on code-generation change
+	Blocks        int    // blocks currently cached (both ISAs)
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any dispatch.
+func (s BlockCacheStats) HitRatio() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// blockCache memoizes decoded basic blocks per ISA. It is keyed by start PC
+// within each ISA map and guarded by the memory's code generation: any
+// write into executable pages, any protection change that touches execute
+// permission, and any DBT code-cache flush bumps the generation, and the
+// next dispatch drops every cached block. Whole-cache invalidation is
+// deliberately coarse — generation bumps are rare (loader setup, respawn
+// re-randomization, translation evictions, SMC attacks) while dispatches
+// number in the millions, so the hot path pays one integer compare and the
+// rare path re-decodes a handful of blocks.
+//
+// Blocks are keyed per ISA because PSR migration retargets m.ISA mid-run
+// (always at a control transfer, hence always at a block boundary), and the
+// same address range decodes differently under each ISA's twin text.
+type blockCache struct {
+	blocks [2]map[uint32]*Block // indexed by isa.Kind
+	gen    uint64               // mem.CodeGen value the cache is valid for
+	win    []byte               // reusable fetch window for refills
+
+	hits, misses, invalidations uint64
+}
+
+// BlockStats returns a snapshot of the machine's block-cache counters.
+func (m *Machine) BlockStats() BlockCacheStats {
+	bc := &m.blocks
+	return BlockCacheStats{
+		Hits:          bc.hits,
+		Misses:        bc.misses,
+		Invalidations: bc.invalidations,
+		Blocks:        len(bc.blocks[isa.X86]) + len(bc.blocks[isa.ARM]),
+	}
+}
+
+// invalidate drops every cached block and adopts the new generation. An
+// empty cache adopting its first generation is not counted — only actual
+// drops of decoded blocks are invalidations.
+func (bc *blockCache) invalidate(gen uint64) {
+	if bc.blocks[0] != nil || bc.blocks[1] != nil {
+		// Old blocks are left for the GC rather than reused: observers
+		// (the timing model's branch predictor, tracers) may still hold
+		// *isa.Inst pointers into them across calls.
+		bc.blocks[0] = nil
+		bc.blocks[1] = nil
+		bc.invalidations++
+	}
+	bc.gen = gen
+}
+
+// lookup returns the cached block starting at pc under ISA k, or nil.
+func (bc *blockCache) lookup(k isa.Kind, pc uint32) *Block {
+	if blk := bc.blocks[k]; blk != nil {
+		if b, ok := blk[pc]; ok {
+			bc.hits++
+			return b
+		}
+	}
+	return nil
+}
+
+// refill fetches and decodes a new block at m.PC and caches it. Fetch and
+// decode failures are wrapped exactly as the per-step slow path wraps them,
+// so callers see identical errors whether or not the cache is in play.
+func (bc *blockCache) refill(m *Machine) (*Block, error) {
+	if bc.win == nil {
+		bc.win = make([]byte, BlockCap*MaxInstLen)
+	}
+	n, err := m.Mem.FetchInto(m.PC, bc.win)
+	if err != nil {
+		return nil, fmt.Errorf("machine: fetch at %#x: %w", m.PC, err)
+	}
+	insts, err := isa.DecodeBlock(m.ISA, bc.win[:n], m.PC, nil, BlockCap)
+	if err != nil {
+		return nil, fmt.Errorf("machine: decode at %#x: %w", m.PC, err)
+	}
+	bc.misses++
+	b := &Block{Insts: insts}
+	tab := bc.blocks[m.ISA]
+	if tab == nil || len(tab) >= maxCachedBlocks {
+		tab = make(map[uint32]*Block)
+		bc.blocks[m.ISA] = tab
+	}
+	tab[m.PC] = b
+	return b, nil
+}

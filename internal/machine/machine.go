@@ -128,6 +128,13 @@ type Machine struct {
 	Syscall   SyscallHandler
 	OnControl ControlHook
 	OnExec    ExecHook
+
+	// blocks is the predecoded basic-block cache driving Run. It lives on
+	// the Machine rather than inside State: State is copied and replaced
+	// wholesale (process reset, PSR state relocation) and the cache must
+	// survive those — correctness is guaranteed by the code generation,
+	// not by State identity.
+	blocks blockCache
 }
 
 // New returns a machine for ISA k over memory m.
@@ -213,16 +220,20 @@ func (m *Machine) control(in *isa.Inst, kind ControlKind, target, retAddr uint32
 	return m.OnControl(m, in, kind, target, retAddr)
 }
 
-// Step fetches, decodes, and executes one instruction.
+// Step fetches, decodes, and executes one instruction. It is the slow
+// path: single-steppers (the gadget analyzer, debug harnesses) use it
+// directly, and Run reproduces its exact fault behavior through the block
+// cache. The fetch window lives on the stack so stepping never allocates.
 func (m *Machine) Step() error {
 	if m.Halted {
 		return ErrHalted
 	}
-	win, err := m.Mem.Fetch(m.PC, MaxInstLen)
+	var win [MaxInstLen]byte
+	n, err := m.Mem.FetchInto(m.PC, win[:])
 	if err != nil {
 		return fmt.Errorf("machine: fetch at %#x: %w", m.PC, err)
 	}
-	in, err := isa.Decode(m.ISA, win, m.PC)
+	in, err := isa.Decode(m.ISA, win[:n], m.PC)
 	if err != nil {
 		return fmt.Errorf("machine: decode at %#x: %w", m.PC, err)
 	}
@@ -238,17 +249,49 @@ func (m *Machine) Step() error {
 
 // Run executes until a halt, an error, or maxSteps instructions. It returns
 // the number of instructions executed.
+//
+// Run dispatches predecoded basic blocks: each block is fetched and
+// decoded once, then re-executed from the cache for as long as the
+// memory's code generation holds. Within a block, sequential instructions
+// execute back to back with no fetch, no decode, and no allocation; hooks
+// (OnExec, OnControl, the timing model) still fire per instruction, so
+// observable behavior is identical to stepping. The generation is
+// re-checked after every instruction, so self-modifying code takes effect
+// at the very next instruction — the same latency the per-step loop had.
 func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 	start := m.Steps
-	for m.Steps-start < maxSteps {
-		if err := m.Step(); err != nil {
-			if errors.Is(err, ErrHalted) {
+	bc := &m.blocks
+	for !m.Halted && m.Steps-start < maxSteps {
+		if g := m.Mem.CodeGen(); g != bc.gen {
+			bc.invalidate(g)
+		}
+		blk := bc.lookup(m.ISA, m.PC)
+		if blk == nil {
+			var err error
+			blk, err = bc.refill(m)
+			if err != nil {
+				return m.Steps - start, err
+			}
+		}
+		insts := blk.Insts
+		for i := range insts {
+			if m.Steps-start >= maxSteps {
 				return m.Steps - start, nil
 			}
-			return m.Steps - start, err
-		}
-		if m.Halted {
-			break
+			in := &insts[i]
+			if m.OnExec != nil {
+				m.OnExec(m, in)
+			}
+			m.Steps++
+			if err := m.exec(in); err != nil {
+				return m.Steps - start, fmt.Errorf("machine: at %#x (%s): %w", in.Addr, in.Op, err)
+			}
+			if m.Halted {
+				return m.Steps - start, nil
+			}
+			if m.Mem.CodeGen() != bc.gen {
+				break // code changed under us: re-decode from the new PC
+			}
 		}
 	}
 	return m.Steps - start, nil
@@ -268,15 +311,9 @@ func (m *Machine) exec(in *isa.Inst) error {
 	case isa.OpHlt:
 		m.Halted = true
 		return nil
-	case isa.OpMov, isa.OpLoad:
-		v, err := m.readOpd(in.Src)
-		if err != nil {
-			return err
-		}
-		if err := m.writeOpd(in.Dst, v); err != nil {
-			return err
-		}
-	case isa.OpStore:
+	case isa.OpMov, isa.OpLoad, isa.OpStore:
+		// All three are one read→write data move; they differ only in
+		// which side names memory (x86 mov vs ARM ldr/str).
 		v, err := m.readOpd(in.Src)
 		if err != nil {
 			return err

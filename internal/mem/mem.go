@@ -83,6 +83,14 @@ func (r Region) End() uint32 { return r.Base + r.Size }
 type Memory struct {
 	pages   map[uint32]*page
 	regions map[string]Region
+	// codeGen is the monotonic code-generation counter: it advances on
+	// every mutation that could change executable bytes (writes into
+	// pages with execute permission, permission changes that grant
+	// execute, and explicit InvalidateCode calls). Consumers that cache
+	// decoded instructions — the interpreter's basic-block cache — compare
+	// generations instead of re-fetching, so the hot path stays a single
+	// integer comparison.
+	codeGen uint64
 }
 
 // New returns an empty address space.
@@ -90,8 +98,18 @@ func New() *Memory {
 	return &Memory{
 		pages:   make(map[uint32]*page),
 		regions: make(map[string]Region),
+		codeGen: 1,
 	}
 }
+
+// CodeGen returns the current code generation. Any cached decode of
+// executable bytes is stale once the value changes.
+func (m *Memory) CodeGen() uint64 { return m.codeGen }
+
+// InvalidateCode advances the code generation without touching memory.
+// The DBT wires CodeCache.Flush here so block caches drop decodes of
+// evicted translations even before their bytes are overwritten.
+func (m *Memory) InvalidateCode() { m.codeGen++ }
 
 // Map creates (or re-permissions) pages covering [addr, addr+size) with the
 // given permissions and, when name is non-empty, records a region of that
@@ -99,12 +117,17 @@ func New() *Memory {
 func (m *Memory) Map(name string, addr, size uint32, perm Perm) Region {
 	first := addr / PageSize
 	last := (addr + size - 1) / PageSize
+	exec := false
 	for pn := first; pn <= last; pn++ {
 		if pg, ok := m.pages[pn]; ok {
+			exec = exec || (pg.perm|perm)&PermX != 0
 			pg.perm = perm
 		} else {
 			m.pages[pn] = &page{data: make([]byte, PageSize), perm: perm}
 		}
+	}
+	if exec {
+		m.codeGen++
 	}
 	r := Region{Name: name, Base: addr, Size: size, Perm: perm}
 	if name != "" {
@@ -118,10 +141,15 @@ func (m *Memory) Map(name string, addr, size uint32, perm Perm) Region {
 func (m *Memory) Protect(addr, size uint32, perm Perm) {
 	first := addr / PageSize
 	last := (addr + size - 1) / PageSize
+	exec := false
 	for pn := first; pn <= last; pn++ {
 		if pg, ok := m.pages[pn]; ok {
+			exec = exec || (pg.perm|perm)&PermX != 0
 			pg.perm = perm
 		}
+	}
+	if exec {
+		m.codeGen++
 	}
 }
 
@@ -181,15 +209,20 @@ func (m *Memory) Read(addr uint32, buf []byte) error {
 // Write copies buf to addr, requiring write permission.
 func (m *Memory) Write(addr uint32, buf []byte) error {
 	off := addr
+	exec := false
 	for len(buf) > 0 {
 		pg, err := m.pageFor(off, PermW)
 		if err != nil {
 			return err
 		}
+		exec = exec || pg.perm&PermX != 0
 		po := off % PageSize
 		n := copy(pg.data[po:], buf)
 		buf = buf[n:]
 		off += uint32(n)
+	}
+	if exec {
+		m.codeGen++
 	}
 	return nil
 }
@@ -198,6 +231,7 @@ func (m *Memory) Write(addr uint32, buf []byte) error {
 // and the DBT's code-cache emitter use it; simulated programs never do.
 func (m *Memory) WriteForce(addr uint32, buf []byte) {
 	off := addr
+	exec := false
 	for len(buf) > 0 {
 		pn := off / PageSize
 		pg, ok := m.pages[pn]
@@ -205,10 +239,14 @@ func (m *Memory) WriteForce(addr uint32, buf []byte) {
 			pg = &page{data: make([]byte, PageSize)}
 			m.pages[pn] = pg
 		}
+		exec = exec || pg.perm&PermX != 0
 		po := off % PageSize
 		n := copy(pg.data[po:], buf)
 		buf = buf[n:]
 		off += uint32(n)
+	}
+	if exec {
+		m.codeGen++
 	}
 }
 
@@ -263,6 +301,30 @@ func (m *Memory) Fetch(addr uint32, n int) ([]byte, error) {
 	return out, nil
 }
 
+// FetchInto is Fetch with a caller-owned buffer: it fills buf with
+// instruction bytes starting at addr and returns how many were copied.
+// Fewer than len(buf) bytes come back when the executable range ends;
+// a fault on the very first page is an error. The interpreter's block
+// cache uses this to refill without allocating per fetch.
+func (m *Memory) FetchInto(addr uint32, buf []byte) (int, error) {
+	off := addr
+	n := 0
+	for n < len(buf) {
+		pg, err := m.pageFor(off, PermX)
+		if err != nil {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, err
+		}
+		po := off % PageSize
+		c := copy(buf[n:], pg.data[po:])
+		n += c
+		off += uint32(c)
+	}
+	return n, nil
+}
+
 // Clone deep-copies the address space, including regions. Respawn-based
 // brute-force simulations use it to restore pristine process images.
 func (m *Memory) Clone() *Memory {
@@ -275,5 +337,6 @@ func (m *Memory) Clone() *Memory {
 	for n, r := range m.regions {
 		c.regions[n] = r
 	}
+	c.codeGen = m.codeGen
 	return c
 }
