@@ -306,6 +306,66 @@ func BenchmarkInterpreterSteps(b *testing.B) {
 	}
 }
 
+// --- DBT translation churn -----------------------------------------------
+
+// BenchmarkDBTSteps measures the end-to-end VM dispatch rate under
+// sustained translation churn: a deliberately small code cache keeps the
+// DBT in a flush → retranslate → chain-patch cycle for the whole run, so
+// every translation commit and patch writes into execute-permission pages.
+// This is the workload where whole-cache block invalidation is the
+// bottleneck — each commit used to drop every predecoded block, including
+// those for untouched code-cache regions; page-granular generations evict
+// only blocks overlapping the written pages. ns/op is ns/step and steps/s
+// is the headline throughput.
+func BenchmarkDBTSteps(b *testing.B) {
+	p, _ := workload.ProfileByName("httpd")
+	bin, err := workload.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []uint32{16 << 10, 32 << 10, 2 << 20} {
+		name := "churn-16k"
+		if size == 32<<10 {
+			name = "churn-32k"
+		}
+		if size == 2<<20 {
+			name = "steady-2m"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := dbt.DefaultConfig()
+			cfg.CodeCacheSize = size
+			cfg.MigrateProb = 0
+			vm, err := dbt.New(bin, isa.X86, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var ran uint64
+			for ran < uint64(b.N) {
+				n, err := vm.Run(uint64(b.N) - ran)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ran += n
+				if vm.P.Exited {
+					b.StopTimer()
+					if err := vm.Start(isa.X86); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				} else if n == 0 {
+					b.Fatal("vm made no progress")
+				}
+			}
+			b.ReportMetric(float64(ran)/b.Elapsed().Seconds(), "steps/s")
+			bs := vm.P.M.BlockStats()
+			b.ReportMetric(float64(bs.Invalidations), "invalidations")
+			b.ReportMetric(bs.HitRatio(), "blk-hit")
+		})
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationRegCacheSize sweeps the global register cache size the

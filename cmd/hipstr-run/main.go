@@ -13,6 +13,7 @@ import (
 
 	"hipstr"
 	"hipstr/internal/isa"
+	"hipstr/internal/machine"
 	"hipstr/internal/perf"
 )
 
@@ -60,6 +61,9 @@ func main() {
 			tel.Reg.Counter("machine.blockcache.hits").Set(bs.Hits)
 			tel.Reg.Counter("machine.blockcache.misses").Set(bs.Misses)
 			tel.Reg.Counter("machine.blockcache.invalidations").Set(bs.Invalidations)
+			tel.Reg.Counter("machine.blockcache.invalidations.partial").Set(bs.PartialInvalidations)
+			tel.Reg.Counter("machine.blockcache.invalidations.full").Set(bs.FullInvalidations)
+			tel.Reg.Counter("machine.blockcache.evicted").Set(bs.BlocksEvicted)
 			tel.Reg.Gauge("machine.blockcache.blocks").Set(float64(bs.Blocks))
 			tel.Reg.Gauge("machine.blockcache.hit_ratio").Set(bs.HitRatio())
 		})
@@ -76,9 +80,7 @@ func main() {
 				ratio(model.ICache.Misses, model.ICache.Hits+model.ICache.Misses),
 				ratio(model.DCache.Misses, model.DCache.Hits+model.DCache.Misses),
 				ratio(model.Bpred.Mispredicts, model.Bpred.Lookups))
-			bs := p.M.BlockStats()
-			fmt.Printf("  block cache: %d blocks, hit=%s, %d invalidations\n",
-				bs.Blocks, ratio(bs.Hits, bs.Hits+bs.Misses), bs.Invalidations)
+			printBlockStats(p.M.BlockStats())
 		}
 	case "psr", "hipstr":
 		cfg := hipstr.Defaults()
@@ -105,9 +107,7 @@ func main() {
 			rat := s.VM.RATOf(s.Active())
 			fmt.Printf("  RAT: %d lookups, %d misses (active core: %s)\n",
 				rat.Lookups, rat.Misses, s.Active())
-			bs := s.VM.P.M.BlockStats()
-			fmt.Printf("  block cache: %d blocks, hit=%s, %d invalidations\n",
-				bs.Blocks, ratio(bs.Hits, bs.Hits+bs.Misses), bs.Invalidations)
+			printBlockStats(s.VM.P.M.BlockStats())
 		}
 	default:
 		log.Fatalf("unknown mode %q", *mode)
@@ -182,6 +182,14 @@ func reportLive(mode string, total uint64, snap, delta hipstr.MetricsSnapshot) {
 		snap.Counters["dbt.migrations"], delta.Counters["dbt.migrations"],
 		ratio(ratLookups-ratMisses, ratLookups), blkHit,
 		100*snap.Gauges["dbt.cache.x86.occupancy"], 100*snap.Gauges["dbt.cache.arm.occupancy"])
+}
+
+// printBlockStats prints the final block-cache line, splitting invalidations
+// into partial (page/range-scoped) and full (whole-cache) reconciles.
+func printBlockStats(bs machine.BlockCacheStats) {
+	fmt.Printf("  block cache: %d blocks, hit=%s, %d invalidations (%d partial, %d full), %d blocks evicted\n",
+		bs.Blocks, ratio(bs.Hits, bs.Hits+bs.Misses),
+		bs.Invalidations, bs.PartialInvalidations, bs.FullInvalidations, bs.BlocksEvicted)
 }
 
 func ratio(num, den uint64) string {

@@ -1,0 +1,264 @@
+// Command tracestat post-processes a -trace-out JSONL event stream (from
+// hipstr-run or hipstr-bench) into per-phase and per-event-type breakdowns.
+//
+// Phase events (type "phase") partition the stream: every event up to and
+// including a phase boundary is attributed to that phase (the boundary's
+// Detail, e.g. "write 3"); events after the last boundary land in "(tail)",
+// and a trace with no phase events is one "(run)" phase. The phase event's
+// Cost is the cycles accumulated in the closing phase.
+//
+// With -folded, tracestat also writes flamegraph-style folded stacks, one
+// "phase;event-type;isa weight" line per aggregate, ready for standard
+// flamegraph tooling. The weight is the summed event cost (rounded up to 1)
+// so costed events (translation latency, migration cost, phase cycles)
+// dominate the graph while cost-less events still appear.
+//
+// Usage:
+//
+//	tracestat [-folded out.folded] [-top N] trace.jsonl
+//
+// The input may be "-" for stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"sort"
+
+	"hipstr/internal/telemetry"
+)
+
+// agg accumulates one breakdown cell.
+type agg struct {
+	count uint64
+	cost  float64
+}
+
+// key identifies a folded-stack leaf: phase / event type / ISA.
+type key struct {
+	phase string
+	typ   string
+	isa   string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracestat: ")
+	folded := flag.String("folded", "", "write flamegraph folded stacks to this file")
+	top := flag.Int("top", 0, "limit per-phase rows to the N highest-cost phases (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-folded out.folded] [-top N] trace.jsonl")
+		os.Exit(2)
+	}
+
+	events, err := readEvents(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(events) == 0 {
+		log.Fatal("no events in trace")
+	}
+
+	phases := assignPhases(events)
+
+	byType := map[string]*agg{}
+	byPhase := map[string]*agg{}
+	cells := map[key]*agg{}
+	var phaseOrder []string
+	for i, e := range events {
+		typ := string(e.Type)
+		accumulate(byType, typ, e)
+		ph := phases[i]
+		if _, seen := byPhase[ph]; !seen {
+			phaseOrder = append(phaseOrder, ph)
+		}
+		accumulate(byPhase, ph, e)
+		k := key{phase: ph, typ: typ, isa: e.ISA}
+		c := cells[k]
+		if c == nil {
+			c = &agg{}
+			cells[k] = c
+		}
+		c.count++
+		c.cost += e.Cost
+	}
+
+	printTypeTable(byType, len(events))
+	printPhaseTable(byPhase, phaseOrder, *top)
+
+	if *folded != "" {
+		if err := writeFolded(*folded, cells); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("folded stacks written to %s (%d rows)\n", *folded, len(cells))
+	}
+}
+
+func accumulate(m map[string]*agg, k string, e telemetry.Event) {
+	a := m[k]
+	if a == nil {
+		a = &agg{}
+		m[k] = a
+	}
+	a.count++
+	a.cost += e.Cost
+}
+
+// readEvents parses one telemetry.Event per line, skipping blank lines.
+func readEvents(path string) ([]telemetry.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var events []telemetry.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e telemetry.Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// assignPhases labels each event with the phase that closes at or after it.
+// The tracer's ring buffer may have rotated early events out, so boundaries
+// are located by position in the retained stream, not by Seq.
+func assignPhases(events []telemetry.Event) []string {
+	labels := make([]string, len(events))
+	start := 0
+	anyPhase := false
+	for i, e := range events {
+		if e.Type != telemetry.EvPhase {
+			continue
+		}
+		anyPhase = true
+		name := e.Detail
+		if name == "" {
+			name = fmt.Sprintf("phase %d", i)
+		}
+		for j := start; j <= i; j++ {
+			labels[j] = name
+		}
+		start = i + 1
+	}
+	tail := "(tail)"
+	if !anyPhase {
+		tail = "(run)"
+	}
+	for j := start; j < len(events); j++ {
+		labels[j] = tail
+	}
+	return labels
+}
+
+func printTypeTable(byType map[string]*agg, total int) {
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		a, b := byType[types[i]], byType[types[j]]
+		if a.cost != b.cost {
+			return a.cost > b.cost
+		}
+		if a.count != b.count {
+			return a.count > b.count
+		}
+		return types[i] < types[j]
+	})
+	fmt.Printf("%d events\n\n", total)
+	fmt.Printf("%-18s %10s %14s %12s\n", "event type", "count", "total cost", "avg cost")
+	for _, t := range types {
+		a := byType[t]
+		fmt.Printf("%-18s %10d %14.1f %12.3f\n", t, a.count, a.cost, a.cost/float64(a.count))
+	}
+}
+
+func printPhaseTable(byPhase map[string]*agg, order []string, top int) {
+	if top > 0 && top < len(order) {
+		// Keep stream order but drop the cheapest phases.
+		sorted := append([]string(nil), order...)
+		sort.Slice(sorted, func(i, j int) bool { return byPhase[sorted[i]].cost > byPhase[sorted[j]].cost })
+		keep := map[string]bool{}
+		for _, p := range sorted[:top] {
+			keep[p] = true
+		}
+		var trimmed []string
+		for _, p := range order {
+			if keep[p] {
+				trimmed = append(trimmed, p)
+			}
+		}
+		order = trimmed
+	}
+	fmt.Printf("\n%-18s %10s %14s\n", "phase", "events", "cost")
+	for _, p := range order {
+		a := byPhase[p]
+		fmt.Printf("%-18s %10d %14.1f\n", p, a.count, a.cost)
+	}
+}
+
+// writeFolded emits "phase;event-type;isa weight" lines sorted by stack name
+// so the output is deterministic for a given trace.
+func writeFolded(path string, cells map[key]*agg) error {
+	keys := make([]key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		if a.typ != b.typ {
+			return a.typ < b.typ
+		}
+		return a.isa < b.isa
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, k := range keys {
+		a := cells[k]
+		weight := uint64(math.Ceil(a.cost))
+		if weight == 0 {
+			weight = a.count
+		}
+		isa := k.isa
+		if isa == "" {
+			isa = "any"
+		}
+		fmt.Fprintf(w, "%s;%s;%s %d\n", k.phase, k.typ, isa, weight)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -44,10 +44,13 @@ type CodeCache struct {
 	Lookups uint64
 	Hits    uint64
 
-	// OnFlush, when set, runs after every Flush. The PSR VM wires it to
-	// the memory's code-generation bump so interpreter block caches drop
-	// predecoded blocks of evicted translations.
-	OnFlush func()
+	// OnFlush, when set, runs after every Flush with the byte range the
+	// flush evicted ([base, base+size)). The PSR VM wires it to the
+	// memory's ranged code-generation bump so interpreter block caches
+	// drop predecoded blocks of the evicted translations — and only
+	// those; blocks for the other ISA's cache and for program text
+	// survive.
+	OnFlush func(base, size uint32)
 }
 
 // NewCodeCache returns an empty code cache for ISA k.
@@ -169,8 +172,10 @@ func (c *CodeCache) TranslatedSources() []uint32 {
 	return out
 }
 
-// Flush evicts everything.
+// Flush evicts everything, reporting the previously allocated byte range
+// to OnFlush so downstream caches can invalidate just this region.
 func (c *CodeCache) Flush() {
+	used := c.cur
 	c.cur = 0
 	c.srcToCache = make(map[uint32]uint32)
 	c.cacheToSrc = make(map[uint32]uint32)
@@ -178,7 +183,7 @@ func (c *CodeCache) Flush() {
 	c.covered = nil
 	c.Flushes++
 	if c.OnFlush != nil {
-		c.OnFlush()
+		c.OnFlush(c.Base, used)
 	}
 }
 

@@ -140,7 +140,11 @@ func (t *translator) decodeUnit(src uint32) error {
 		}
 	}
 	// Argument-store context: nearest following call within the unit.
-	t.callCtx = make([]int, len(t.insts))
+	if cap(t.callCtx) >= len(t.insts) {
+		t.callCtx = t.callCtx[:len(t.insts)]
+	} else {
+		t.callCtx = make([]int, len(t.insts))
+	}
 	next := -1
 	for i := len(t.insts) - 1; i >= 0; i-- {
 		op := t.insts[i].Op

@@ -149,6 +149,22 @@ type VM struct {
 	LastEventTarget uint32
 
 	progSyscall machine.SyscallHandler
+
+	// xs holds the translator's reusable scratch buffers. Under cache
+	// churn the translator runs thousands of times per second; recycling
+	// its working set (the assembler's item list, decoded unit, pending
+	// trap/call lists) keeps translation off the allocator entirely.
+	xs translateScratch
+}
+
+// translateScratch recycles one translation's working set into the next.
+// The VM is single-threaded, so one set suffices.
+type translateScratch struct {
+	asm      *isa.Asm
+	insts    []isa.Inst
+	callCtx  []int
+	newTraps []pendingTrap
+	newCalls []pendingCall
 }
 
 // New boots bin under a fresh PSR virtual machine pair starting on ISA k.
@@ -182,9 +198,12 @@ func New(bin *fatbin.Binary, k isa.Kind, cfg Config) (*VM, error) {
 	for _, kk := range isa.Kinds {
 		vm.caches[kk] = NewCodeCache(kk, cfg.CodeCacheSize)
 		// A flush evicts translations without necessarily rewriting their
-		// bytes; bump the code generation so the interpreter's block cache
-		// drops its predecodes of the evicted units too.
-		vm.caches[kk].OnFlush = p.Mem.InvalidateCode
+		// bytes; bump the code generation of the flushed region so the
+		// interpreter's block cache drops its predecodes of the evicted
+		// units — and nothing else (the other ISA's cache and program
+		// text stay warm). Commits and chain patches invalidate their own
+		// pages through the write barrier.
+		vm.caches[kk].OnFlush = p.Mem.InvalidateCodeRange
 		vm.rats[kk] = NewRAT(cfg.RATSize)
 		vm.traps[kk] = make(map[uint32]trapMeta)
 		vm.calls[kk] = make(map[uint32]callMeta)
@@ -272,7 +291,12 @@ func (vm *VM) registerTelemetry() {
 		bs := vm.P.M.BlockStats()
 		r.Counter("machine.blockcache.hits").Set(bs.Hits)
 		r.Counter("machine.blockcache.misses").Set(bs.Misses)
+		// The legacy counter is the sum of the partial/full split, so
+		// snapshots taken before the split stay metricsdiff-comparable.
 		r.Counter("machine.blockcache.invalidations").Set(bs.Invalidations)
+		r.Counter("machine.blockcache.invalidations.partial").Set(bs.PartialInvalidations)
+		r.Counter("machine.blockcache.invalidations.full").Set(bs.FullInvalidations)
+		r.Counter("machine.blockcache.evicted").Set(bs.BlocksEvicted)
 		r.Gauge("machine.blockcache.blocks").Set(float64(bs.Blocks))
 		r.Gauge("machine.blockcache.hit_ratio").Set(bs.HitRatio())
 		st := &vm.Stats
@@ -372,24 +396,36 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 	start := time.Now()
 	for attempt := 0; attempt < 2; attempt++ {
 		base := vm.caches[k].NextAddr(vm.unitAlign())
+		if vm.xs.asm == nil {
+			vm.xs.asm = isa.NewAsm(k, base)
+		} else {
+			vm.xs.asm.Reset(k, base)
+		}
 		t := &translator{
-			vm:   vm,
-			k:    k,
-			fn:   fn,
-			m:    vm.mapOf(fn)[k],
-			a:    isa.NewAsm(k, base),
-			tmps: vm.mapOf(fn)[k].FreeRegs,
+			vm:       vm,
+			k:        k,
+			fn:       fn,
+			m:        vm.mapOf(fn)[k],
+			a:        vm.xs.asm,
+			tmps:     vm.mapOf(fn)[k].FreeRegs,
+			insts:    vm.xs.insts[:0],
+			callCtx:  vm.xs.callCtx[:0],
+			newTraps: vm.xs.newTraps[:0],
+			newCalls: vm.xs.newCalls[:0],
 		}
 		if err := t.run(src); err != nil {
+			vm.saveScratch(t)
 			return 0, err
 		}
 		t.flushStubs()
 		code, labels, err := t.a.Assemble()
 		if err != nil {
+			vm.saveScratch(t)
 			return 0, fmt.Errorf("dbt: assembling unit for %#x: %w", src, err)
 		}
 		addr, ok := vm.caches[k].Reserve(uint32(len(code)), vm.unitAlign())
 		if !ok {
+			vm.saveScratch(t)
 			vm.flush(k)
 			continue
 		}
@@ -417,9 +453,19 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 			Type: telemetry.EvTranslate, ISA: k.String(), Addr: src, Cost: us,
 			Detail: fmt.Sprintf("%d bytes", len(code)),
 		})
+		vm.saveScratch(t)
 		return addr, nil
 	}
 	return 0, fmt.Errorf("dbt: unit for %#x exceeds code cache", src)
+}
+
+// saveScratch returns a finished translator's (possibly grown) buffers to
+// the scratch pool for the next translation.
+func (vm *VM) saveScratch(t *translator) {
+	vm.xs.insts = t.insts
+	vm.xs.callCtx = t.callCtx
+	vm.xs.newTraps = t.newTraps
+	vm.xs.newCalls = t.newCalls
 }
 
 // onControl implements the modified call/return macro-ops (paper §5.1)

@@ -14,6 +14,10 @@ type Asm struct {
 	items  []asmItem
 	labels map[string]int // label -> item index it precedes
 	err    error
+
+	// Reusable Assemble outputs; see Reset.
+	buf        []byte
+	labelAddrs map[string]uint32
 }
 
 type asmItem struct {
@@ -26,6 +30,20 @@ type asmItem struct {
 // NewAsm returns an assembler for ISA k emitting at base.
 func NewAsm(k Kind, base uint32) *Asm {
 	return &Asm{kind: k, base: base, labels: make(map[string]int)}
+}
+
+// Reset reinitializes the assembler for a new unit at base, retaining the
+// instruction, label, and output buffers of previous units. The slices and
+// map returned by the previous Assemble are invalidated — callers that
+// Reset must be done with them (the PSR translator is: translated bytes
+// are committed to memory, label addresses copied into trap tables, before
+// the next unit begins).
+func (a *Asm) Reset(k Kind, base uint32) {
+	a.kind = k
+	a.base = base
+	a.items = a.items[:0]
+	clear(a.labels)
+	a.err = nil
 }
 
 // Base returns the emission base address.
@@ -70,6 +88,15 @@ func (a *Asm) Call(label string) { a.EmitTo(Inst{Op: OpCall, Cond: CondAlways}, 
 // Len reports the number of instructions emitted so far.
 func (a *Asm) Len() int { return len(a.items) }
 
+// emitARMConst emits the movw/movt sequence loading v into rd — the
+// allocation-free twin of MaterializeARMConst for the emission helpers.
+func (a *Asm) emitARMConst(rd Reg, v uint32) {
+	a.Emit(Inst{Op: OpMov, Dst: R(rd), Src: I(int32(v & 0xFFFF))})
+	if v>>16 != 0 {
+		a.Emit(Inst{Op: OpMovT, Dst: R(rd), Src: I(int32(v >> 16))})
+	}
+}
+
 // LoadWord emits a word load rd = mem[base+off]. On ARM, offsets outside
 // the 13-bit immediate range are legalized through the scratch register
 // (materialize offset, add base, register-offset load) — the "additional
@@ -84,9 +111,7 @@ func (a *Asm) LoadWord(rd, base Reg, off int32, scratch Reg) {
 		a.Emit(Inst{Op: OpLoad, Dst: R(rd), Src: MB(base, off)})
 		return
 	}
-	for _, in := range MaterializeARMConst(scratch, uint32(off)) {
-		a.Emit(in)
-	}
+	a.emitARMConst(scratch, uint32(off))
 	a.Emit(Inst{Op: OpAdd, Dst: R(scratch), Src: R(base), Src2: R(scratch)})
 	a.Emit(Inst{Op: OpLoad, Dst: R(rd), Src: MB(scratch, 0)})
 }
@@ -102,9 +127,7 @@ func (a *Asm) StoreWord(rs, base Reg, off int32, scratch Reg) {
 		a.Emit(Inst{Op: OpStore, Dst: MB(base, off), Src: R(rs)})
 		return
 	}
-	for _, in := range MaterializeARMConst(scratch, uint32(off)) {
-		a.Emit(in)
-	}
+	a.emitARMConst(scratch, uint32(off))
 	a.Emit(Inst{Op: OpAdd, Dst: R(scratch), Src: R(base), Src2: R(scratch)})
 	a.Emit(Inst{Op: OpStore, Dst: MB(scratch, 0), Src: R(rs)})
 }
@@ -124,9 +147,7 @@ func (a *Asm) AddImm(dst, src Reg, imm int32, scratch Reg) {
 		a.Emit(Inst{Op: OpAdd, Dst: R(dst), Src: I(imm), Src2: R(src)})
 		return
 	}
-	for _, in := range MaterializeARMConst(scratch, uint32(imm)) {
-		a.Emit(in)
-	}
+	a.emitARMConst(scratch, uint32(imm))
 	a.Emit(Inst{Op: OpAdd, Dst: R(dst), Src: R(scratch), Src2: R(src)})
 }
 
@@ -136,9 +157,7 @@ func (a *Asm) Const32(dst Reg, v uint32) {
 		a.Emit(Inst{Op: OpMov, Dst: R(dst), Src: I(int32(v))})
 		return
 	}
-	for _, in := range MaterializeARMConst(dst, v) {
-		a.Emit(in)
-	}
+	a.emitARMConst(dst, v)
 }
 
 // Const32Wide is Const32 but always emits the full-width form (movw+movt
@@ -154,14 +173,19 @@ func (a *Asm) Const32Wide(dst Reg, v uint32) {
 }
 
 // Assemble resolves labels and encodes all instructions. It returns the
-// code bytes and the address of each label.
+// code bytes and the address of each label. Both are owned by the
+// assembler and remain valid until the next Reset.
 func (a *Asm) Assemble() ([]byte, map[string]uint32, error) {
 	if a.err != nil {
 		return nil, nil, a.err
 	}
-	// Pass 1: size each instruction (labels temporarily resolved to the
-	// instruction's own address, which is always encodable).
+	// Pass 1: size and encode each instruction. Label targets are
+	// temporarily resolved to the instruction's own address (always
+	// encodable); both encoders emit fixed sizes per (op, operand shape),
+	// so only label-targeted items need re-encoding once label addresses
+	// are known — everything else is already final.
 	addr := a.base
+	a.buf = a.buf[:0]
 	for i := range a.items {
 		it := &a.items[i]
 		in := it.inst
@@ -175,29 +199,34 @@ func (a *Asm) Assemble() ([]byte, map[string]uint32, error) {
 		}
 		it.addr = addr
 		it.size = uint8(len(enc))
+		a.buf = append(a.buf, enc...)
 		addr += uint32(len(enc))
 	}
-	labelAddrs := make(map[string]uint32, len(a.labels))
+	if a.labelAddrs == nil {
+		a.labelAddrs = make(map[string]uint32, len(a.labels))
+	} else {
+		clear(a.labelAddrs)
+	}
 	for name, idx := range a.labels {
 		if idx >= len(a.items) {
-			labelAddrs[name] = addr // label at end of stream
+			a.labelAddrs[name] = addr // label at end of stream
 		} else {
-			labelAddrs[name] = a.items[idx].addr
+			a.labelAddrs[name] = a.items[idx].addr
 		}
 	}
-	// Pass 2: encode with final targets.
-	out := make([]byte, 0, addr-a.base)
+	// Pass 2: re-encode label-targeted items in place with final targets.
 	for i := range a.items {
 		it := &a.items[i]
+		if it.label == "" {
+			continue
+		}
 		in := it.inst
 		in.Addr = it.addr
-		if it.label != "" {
-			t, ok := labelAddrs[it.label]
-			if !ok {
-				return nil, nil, fmt.Errorf("isa: undefined label %q", it.label)
-			}
-			in.Target = t
+		t, ok := a.labelAddrs[it.label]
+		if !ok {
+			return nil, nil, fmt.Errorf("isa: undefined label %q", it.label)
 		}
+		in.Target = t
 		enc, err := Encode(a.kind, &in)
 		if err != nil {
 			return nil, nil, fmt.Errorf("isa: encoding %s: %w", in.String(), err)
@@ -205,7 +234,7 @@ func (a *Asm) Assemble() ([]byte, map[string]uint32, error) {
 		if len(enc) != int(it.size) {
 			return nil, nil, fmt.Errorf("isa: unstable size for %s: %d then %d", in.String(), it.size, len(enc))
 		}
-		out = append(out, enc...)
+		copy(a.buf[it.addr-a.base:], enc)
 	}
-	return out, labelAddrs, nil
+	return a.buf, a.labelAddrs, nil
 }

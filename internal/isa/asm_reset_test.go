@@ -1,0 +1,88 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// emitUnit assembles a small label-bearing unit: a countdown loop plus a
+// forward branch, exercising both re-encoded (label) and fixed items.
+func emitUnit(a *Asm, iters int32) {
+	r := ECX
+	if a.kind == ARM {
+		r = R1
+	}
+	a.Const32(r, uint32(iters))
+	a.Label("loop")
+	a.AddImm(r, r, -1, r)
+	a.Emit(Inst{Op: OpCmp, Dst: R(r), Src: I(0)})
+	a.Jcc(CondNE, "loop")
+	a.Jmp("done")
+	a.Emit(Inst{Op: OpNop})
+	a.Label("done")
+	a.Emit(Inst{Op: OpHlt})
+}
+
+// TestAsmResetMatchesFreshAssembler reuses one assembler across several
+// units — the translator's hot pattern — and checks every unit's bytes and
+// label addresses are identical to a fresh assembler's.
+func TestAsmResetMatchesFreshAssembler(t *testing.T) {
+	reused := NewAsm(X86, 0x1000)
+	cases := []struct {
+		k     Kind
+		base  uint32
+		iters int32
+	}{
+		{X86, 0x1000, 3},
+		{ARM, 0x2000, 70000}, // large constant: movw+movt path
+		{X86, 0x1000, 30},
+		{ARM, 0x4000, 5},
+	}
+	for i, c := range cases {
+		if i > 0 {
+			reused.Reset(c.k, c.base)
+		}
+		emitUnit(reused, c.iters)
+		gotCode, gotLabels, err := reused.Assemble()
+		if err != nil {
+			t.Fatalf("case %d: reused assemble: %v", i, err)
+		}
+
+		fresh := NewAsm(c.k, c.base)
+		emitUnit(fresh, c.iters)
+		wantCode, wantLabels, err := fresh.Assemble()
+		if err != nil {
+			t.Fatalf("case %d: fresh assemble: %v", i, err)
+		}
+		if !bytes.Equal(gotCode, wantCode) {
+			t.Fatalf("case %d (%s@%#x): reused bytes differ from fresh:\n got %x\nwant %x",
+				i, c.k, c.base, gotCode, wantCode)
+		}
+		if len(gotLabels) != len(wantLabels) {
+			t.Fatalf("case %d: label count %d != %d", i, len(gotLabels), len(wantLabels))
+		}
+		for name, addr := range wantLabels {
+			if gotLabels[name] != addr {
+				t.Fatalf("case %d: label %q = %#x, want %#x", i, name, gotLabels[name], addr)
+			}
+		}
+	}
+}
+
+// TestAsmResetClearsErrorAndLabels ensures a failed unit (duplicate label)
+// does not poison the next one.
+func TestAsmResetClearsErrorAndLabels(t *testing.T) {
+	a := NewAsm(X86, 0)
+	a.Label("x")
+	a.Emit(Inst{Op: OpNop})
+	a.Label("x")
+	if _, _, err := a.Assemble(); err == nil {
+		t.Fatal("duplicate label not reported")
+	}
+	a.Reset(X86, 0)
+	a.Label("x") // same name again: must not collide with the old unit
+	a.Emit(Inst{Op: OpHlt})
+	if _, _, err := a.Assemble(); err != nil {
+		t.Fatalf("assembler not reusable after error: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hipstr/internal/isa"
+	"hipstr/internal/mem"
 )
 
 // BlockCap is the maximum number of instructions predecoded into one basic
@@ -23,14 +24,35 @@ const maxCachedBlocks = 1 << 14
 // a not-taken branch or the block was split at BlockCap.
 type Block struct {
 	Insts []isa.Inst
+
+	// [lo, hi) is the byte span the block decoded from (at most BlockCap ×
+	// MaxInstLen ≤ PageSize bytes, so at most two pages). The cache's
+	// per-page index uses the page span to find candidate blocks and the
+	// byte span to evict exactly the ones a write overlapped.
+	lo, hi uint32
+}
+
+func (b *Block) pageLo() uint32 { return b.lo / mem.PageSize }
+func (b *Block) pageHi() uint32 { return (b.hi - 1) / mem.PageSize }
+
+// overlaps reports whether the block's byte span intersects [addr, addr+size).
+func (b *Block) overlaps(addr, size uint32) bool {
+	return uint64(b.hi) > uint64(addr) && uint64(b.lo) < uint64(addr)+uint64(size)
 }
 
 // BlockCacheStats is a snapshot of the interpreter block cache counters.
 type BlockCacheStats struct {
-	Hits          uint64 // block dispatches served from cache
-	Misses        uint64 // block refills (fetch + decode)
-	Invalidations uint64 // whole-cache drops on code-generation change
-	Blocks        int    // blocks currently cached (both ISAs)
+	Hits   uint64 // block dispatches served from cache
+	Misses uint64 // block refills (fetch + decode)
+	// Invalidations is the legacy invalidation counter: every event that
+	// evicted at least one block. It equals PartialInvalidations +
+	// FullInvalidations, so dashboards and metricsdiff snapshots recorded
+	// before the partial/full split stay comparable.
+	Invalidations        uint64
+	PartialInvalidations uint64 // page-ranged evictions (some blocks survived)
+	FullInvalidations    uint64 // whole-cache drops (InvalidateCode fallback)
+	BlocksEvicted        uint64 // blocks dropped across all invalidations
+	Blocks               int    // blocks currently cached (both ISAs)
 }
 
 // HitRatio returns Hits/(Hits+Misses), or 0 before any dispatch.
@@ -41,51 +63,265 @@ func (s BlockCacheStats) HitRatio() float64 {
 	return 0
 }
 
-// blockCache memoizes decoded basic blocks per ISA. It is keyed by start PC
-// within each ISA map and guarded by the memory's code generation: any
-// write into executable pages, any protection change that touches execute
-// permission, and any DBT code-cache flush bumps the generation, and the
-// next dispatch drops every cached block. Whole-cache invalidation is
-// deliberately coarse — generation bumps are rare (loader setup, respawn
-// re-randomization, translation evictions, SMC attacks) while dispatches
-// number in the millions, so the hot path pays one integer compare and the
-// rare path re-decodes a handful of blocks.
+// blockRef names one cached block from a page's index entry.
+type blockRef struct {
+	pc uint32
+	k  isa.Kind
+}
+
+// pageIndex lists the cached blocks overlapping one page, together with
+// the page generation they observed at decode time.
+type pageIndex struct {
+	gen  uint64
+	refs []blockRef
+}
+
+// blockCache memoizes decoded basic blocks per ISA, keyed by start PC, and
+// guards them with the memory's code generations. The dispatch fast path
+// is one integer compare against the global generation; when that moves,
+// the cache reconciles at page granularity: it walks its per-page index
+// (only pages that actually hold blocks — a working set of tens, not the
+// whole address space) and evicts just the blocks overlapping pages whose
+// generation advanced. A whole-address-space InvalidateCode raises the
+// memory's generation floor past the cache's sync point and falls back to
+// the classic full drop. This keeps the block cache hot under DBT
+// translation churn: a translation commit or chain patch dirties one or
+// two code-cache pages, so predecodes of untouched regions — including
+// the other ISA's — survive.
 //
 // Blocks are keyed per ISA because PSR migration retargets m.ISA mid-run
 // (always at a control transfer, hence always at a block boundary), and the
 // same address range decodes differently under each ISA's twin text.
 type blockCache struct {
 	blocks [2]map[uint32]*Block // indexed by isa.Kind
-	gen    uint64               // mem.CodeGen value the cache is valid for
-	win    []byte               // reusable fetch window for refills
+	byPage map[uint32]*pageIndex
+	gen    uint64 // mem.CodeGen value the cache is synced to
+	win    []byte // reusable fetch window for refills
+	// free recycles evicted blocks' instruction storage into refills.
+	// Hooks receive *isa.Inst only for the duration of a call and must
+	// not retain them (see Run), so storage of a dropped block cannot be
+	// observed again. Under DBT churn this keeps steady-state refills
+	// from hitting the allocator at all.
+	free [][]isa.Inst
 
-	hits, misses, invalidations uint64
+	hits, misses              uint64
+	partialInvals, fullInvals uint64
+	evicted                   uint64
+}
+
+// maxFreeInsts bounds the recycled-storage pool.
+const maxFreeInsts = 512
+
+// recycle returns an evicted block's instruction storage to the pool.
+func (bc *blockCache) recycle(b *Block) {
+	if b.Insts != nil && len(bc.free) < maxFreeInsts {
+		bc.free = append(bc.free, b.Insts[:0])
+		b.Insts = nil
+	}
 }
 
 // BlockStats returns a snapshot of the machine's block-cache counters.
 func (m *Machine) BlockStats() BlockCacheStats {
 	bc := &m.blocks
 	return BlockCacheStats{
-		Hits:          bc.hits,
-		Misses:        bc.misses,
-		Invalidations: bc.invalidations,
-		Blocks:        len(bc.blocks[isa.X86]) + len(bc.blocks[isa.ARM]),
+		Hits:                 bc.hits,
+		Misses:               bc.misses,
+		Invalidations:        bc.partialInvals + bc.fullInvals,
+		PartialInvalidations: bc.partialInvals,
+		FullInvalidations:    bc.fullInvals,
+		BlocksEvicted:        bc.evicted,
+		Blocks:               len(bc.blocks[isa.X86]) + len(bc.blocks[isa.ARM]),
 	}
 }
 
-// invalidate drops every cached block and adopts the new generation. An
-// empty cache adopting its first generation is not counted — only actual
-// drops of decoded blocks are invalidations.
-func (bc *blockCache) invalidate(gen uint64) {
-	if bc.blocks[0] != nil || bc.blocks[1] != nil {
-		// Old blocks are left for the GC rather than reused: observers
-		// (the timing model's branch predictor, tracers) may still hold
-		// *isa.Inst pointers into them across calls.
-		bc.blocks[0] = nil
-		bc.blocks[1] = nil
-		bc.invalidations++
+// reconcile adopts generation g, evicting whatever the move invalidated.
+// Three tiers, cheapest-exact first:
+//
+//  1. Ranged: when the memory's write log still holds every generation in
+//     (bc.gen, g], evict only blocks whose byte span a logged write
+//     overlapped. A DBT translation commit appends fresh bytes past every
+//     decoded block, so this tier usually evicts nothing at all.
+//  2. Page walk: when the log rotated past us, compare each indexed
+//     page's generation and evict whole pages that moved.
+//  3. Full drop: a whole-address-space InvalidateCode raised the
+//     generation floor past our sync point; drop everything.
+//
+// An empty cache adopting its first generation is not counted — only
+// actual drops of decoded blocks are invalidations.
+func (bc *blockCache) reconcile(mm *mem.Memory, g uint64) {
+	if len(bc.byPage) == 0 {
+		bc.gen = g
+		return
 	}
-	bc.gen = gen
+	if mm.CodeGenFloor() > bc.gen {
+		bc.dropAll()
+		bc.fullInvals++
+	} else {
+		evicted, ok := bc.reconcileRanged(mm, g)
+		if !ok {
+			evicted += bc.reconcilePages(mm)
+		}
+		if evicted > 0 {
+			bc.partialInvals++
+		}
+	}
+	bc.gen = g
+}
+
+// reconcileRanged replays the memory's write log from bc.gen forward,
+// evicting blocks byte-overlapped by each logged mutation. It reports
+// false (and leaves page generations untouched) when any generation in
+// the window has rotated out of the log, in which case the caller must
+// fall back to the page walk.
+func (bc *blockCache) reconcileRanged(mm *mem.Memory, g uint64) (int, bool) {
+	if g-bc.gen > mem.CodeWriteLogSize {
+		return 0, false
+	}
+	n := 0
+	for gg := bc.gen + 1; gg <= g; gg++ {
+		w, ok := mm.CodeWriteAt(gg)
+		if !ok {
+			return n, false
+		}
+		n += bc.evictRange(w.Addr, w.Size)
+	}
+	// All mutations replayed: refresh the observed generation of every
+	// touched page that still holds blocks, restoring the invariant that
+	// indexed pages are current once the cache is synced.
+	for gg := bc.gen + 1; gg <= g; gg++ {
+		w, _ := mm.CodeWriteAt(gg)
+		first := w.Addr / mem.PageSize
+		last := (w.Addr + w.Size - 1) / mem.PageSize
+		for pn := first; pn <= last; pn++ {
+			if pi, ok := bc.byPage[pn]; ok {
+				pi.gen = mm.PageGen(pn)
+			}
+		}
+	}
+	return n, true
+}
+
+// reconcilePages is the coarse fallback: evict every indexed page whose
+// generation moved since the blocks on it were decoded.
+func (bc *blockCache) reconcilePages(mm *mem.Memory) int {
+	evicted := 0
+	for pn, pi := range bc.byPage {
+		if mm.PageGen(pn) != pi.gen {
+			evicted += bc.evictPage(pn)
+		}
+	}
+	return evicted
+}
+
+// evictRange drops every block whose byte span intersects [addr,
+// addr+size) and returns how many were dropped.
+func (bc *blockCache) evictRange(addr, size uint32) int {
+	if size == 0 {
+		return 0
+	}
+	first := addr / mem.PageSize
+	last := (addr + size - 1) / mem.PageSize
+	n := 0
+	for pn := first; pn <= last; pn++ {
+		pi, ok := bc.byPage[pn]
+		if !ok {
+			continue
+		}
+		for i := 0; i < len(pi.refs); {
+			ref := pi.refs[i]
+			b := bc.blocks[ref.k][ref.pc]
+			if b == nil || !b.overlaps(addr, size) {
+				i++
+				continue
+			}
+			delete(bc.blocks[ref.k], ref.pc)
+			bc.recycle(b)
+			n++
+			// Unlink from every page the block spans; on this page, swap
+			// with the last ref and revisit index i.
+			for q := b.pageLo(); q <= b.pageHi(); q++ {
+				if q == pn {
+					pi.refs[i] = pi.refs[len(pi.refs)-1]
+					pi.refs = pi.refs[:len(pi.refs)-1]
+				} else {
+					bc.dropRef(q, ref)
+				}
+			}
+		}
+		if len(pi.refs) == 0 {
+			delete(bc.byPage, pn)
+		}
+	}
+	bc.evicted += uint64(n)
+	return n
+}
+
+// dropAll discards every cached block and the page index, recycling the
+// blocks' instruction storage.
+func (bc *blockCache) dropAll() {
+	for k := range bc.blocks {
+		for _, b := range bc.blocks[k] {
+			bc.recycle(b)
+		}
+	}
+	bc.evicted += uint64(len(bc.blocks[0]) + len(bc.blocks[1]))
+	bc.blocks[0] = nil
+	bc.blocks[1] = nil
+	bc.byPage = nil
+}
+
+// evictPage drops every block overlapping page pn and returns how many
+// were dropped. Blocks spanning a second page are unlinked from that
+// page's index entry too, so ref lists never accumulate stale entries.
+func (bc *blockCache) evictPage(pn uint32) int {
+	pi, ok := bc.byPage[pn]
+	if !ok {
+		return 0
+	}
+	delete(bc.byPage, pn)
+	n := 0
+	for _, ref := range pi.refs {
+		b, ok := bc.blocks[ref.k][ref.pc]
+		if !ok {
+			continue
+		}
+		delete(bc.blocks[ref.k], ref.pc)
+		for q := b.pageLo(); q <= b.pageHi(); q++ {
+			if q != pn {
+				bc.dropRef(q, ref)
+			}
+		}
+		bc.recycle(b)
+		n++
+	}
+	bc.evicted += uint64(n)
+	return n
+}
+
+// dropRef unlinks one block reference from page pn's index entry, removing
+// the entry when it empties.
+func (bc *blockCache) dropRef(pn uint32, ref blockRef) {
+	pi, ok := bc.byPage[pn]
+	if !ok {
+		return
+	}
+	for i, r := range pi.refs {
+		if r == ref {
+			pi.refs[i] = pi.refs[len(pi.refs)-1]
+			pi.refs = pi.refs[:len(pi.refs)-1]
+			break
+		}
+	}
+	if len(pi.refs) == 0 {
+		delete(bc.byPage, pn)
+	}
+}
+
+// alive reports whether blk is still the cached block for (k, pc) after a
+// reconcile — the dispatch loop uses it to keep executing a block whose
+// pages survived a generation move instead of breaking out to re-decode.
+func (bc *blockCache) alive(k isa.Kind, pc uint32, blk *Block) bool {
+	return bc.blocks[k][pc] == blk
 }
 
 // lookup returns the cached block starting at pc under ISA k, or nil.
@@ -99,9 +335,12 @@ func (bc *blockCache) lookup(k isa.Kind, pc uint32) *Block {
 	return nil
 }
 
-// refill fetches and decodes a new block at m.PC and caches it. Fetch and
-// decode failures are wrapped exactly as the per-step slow path wraps them,
-// so callers see identical errors whether or not the cache is in play.
+// refill fetches and decodes a new block at m.PC and caches it, indexing
+// it under every page it spans. The caller (Run) guarantees the cache is
+// synced to the current generation, so the page generations recorded here
+// are coherent with bc.gen. Fetch and decode failures are wrapped exactly
+// as the per-step slow path wraps them, so callers see identical errors
+// whether or not the cache is in play.
 func (bc *blockCache) refill(m *Machine) (*Block, error) {
 	if bc.win == nil {
 		bc.win = make([]byte, BlockCap*MaxInstLen)
@@ -110,17 +349,44 @@ func (bc *blockCache) refill(m *Machine) (*Block, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine: fetch at %#x: %w", m.PC, err)
 	}
-	insts, err := isa.DecodeBlock(m.ISA, bc.win[:n], m.PC, nil, BlockCap)
+	var dst []isa.Inst
+	if l := len(bc.free); l > 0 {
+		dst = bc.free[l-1]
+		bc.free = bc.free[:l-1]
+	}
+	insts, err := isa.DecodeBlock(m.ISA, bc.win[:n], m.PC, dst, BlockCap)
 	if err != nil {
 		return nil, fmt.Errorf("machine: decode at %#x: %w", m.PC, err)
 	}
 	bc.misses++
-	b := &Block{Insts: insts}
+	last := &insts[len(insts)-1]
+	b := &Block{
+		Insts: insts,
+		lo:    m.PC,
+		hi:    last.Addr + uint32(last.Size),
+	}
 	tab := bc.blocks[m.ISA]
 	if tab == nil || len(tab) >= maxCachedBlocks {
+		if len(tab) >= maxCachedBlocks {
+			// Cap overflow (adversarial decode sweeps): restart both maps
+			// and the index together so no stale references survive.
+			bc.dropAll()
+		}
 		tab = make(map[uint32]*Block)
 		bc.blocks[m.ISA] = tab
 	}
 	tab[m.PC] = b
+	if bc.byPage == nil {
+		bc.byPage = make(map[uint32]*pageIndex)
+	}
+	ref := blockRef{pc: m.PC, k: m.ISA}
+	for pn := b.pageLo(); pn <= b.pageHi(); pn++ {
+		pi := bc.byPage[pn]
+		if pi == nil {
+			pi = &pageIndex{gen: m.Mem.PageGen(pn)}
+			bc.byPage[pn] = pi
+		}
+		pi.refs = append(pi.refs, ref)
+	}
 	return b, nil
 }

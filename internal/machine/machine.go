@@ -252,18 +252,22 @@ func (m *Machine) Step() error {
 //
 // Run dispatches predecoded basic blocks: each block is fetched and
 // decoded once, then re-executed from the cache for as long as the
-// memory's code generation holds. Within a block, sequential instructions
+// memory's code generations hold. Within a block, sequential instructions
 // execute back to back with no fetch, no decode, and no allocation; hooks
 // (OnExec, OnControl, the timing model) still fire per instruction, so
-// observable behavior is identical to stepping. The generation is
-// re-checked after every instruction, so self-modifying code takes effect
-// at the very next instruction — the same latency the per-step loop had.
+// observable behavior is identical to stepping. The global generation is
+// re-checked after every instruction; when it moves, the cache reconciles
+// at page granularity and execution continues in place if the current
+// block's pages were untouched — so self-modifying code takes effect at
+// the very next instruction (the same latency the per-step loop had),
+// while unrelated code production (DBT translation commits, chain
+// patches) no longer interrupts the block or evicts its neighbors.
 func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 	start := m.Steps
 	bc := &m.blocks
 	for !m.Halted && m.Steps-start < maxSteps {
 		if g := m.Mem.CodeGen(); g != bc.gen {
-			bc.invalidate(g)
+			bc.reconcile(m.Mem, g)
 		}
 		blk := bc.lookup(m.ISA, m.PC)
 		if blk == nil {
@@ -273,6 +277,7 @@ func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 				return m.Steps - start, err
 			}
 		}
+		startPC := m.PC
 		insts := blk.Insts
 		for i := range insts {
 			if m.Steps-start >= maxSteps {
@@ -289,8 +294,16 @@ func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 			if m.Halted {
 				return m.Steps - start, nil
 			}
-			if m.Mem.CodeGen() != bc.gen {
-				break // code changed under us: re-decode from the new PC
+			if g := m.Mem.CodeGen(); g != bc.gen {
+				// Code changed somewhere. Reconcile now; if this block
+				// survived (the write was elsewhere), keep executing it,
+				// otherwise re-decode from the new PC. A control transfer
+				// is always a block terminator, so m.ISA still names the
+				// block's ISA here.
+				bc.reconcile(m.Mem, g)
+				if !bc.alive(m.ISA, startPC, blk) {
+					break
+				}
 			}
 		}
 	}

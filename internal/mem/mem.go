@@ -61,6 +61,11 @@ func (f *Fault) Error() string {
 type page struct {
 	data []byte
 	perm Perm
+	// gen is the page's code generation: the codeGen value of the last
+	// mutation that could have changed executable bytes on this page. The
+	// effective generation reported by PageGen is max(gen, allGen), so
+	// whole-address-space invalidations stay O(1).
+	gen uint64
 }
 
 // Region is a named address range of the process layout.
@@ -89,8 +94,52 @@ type Memory struct {
 	// execute, and explicit InvalidateCode calls). Consumers that cache
 	// decoded instructions — the interpreter's basic-block cache — compare
 	// generations instead of re-fetching, so the hot path stays a single
-	// integer comparison.
+	// integer comparison. It is the "anything changed?" fast path; the
+	// per-page generations below say *what* changed.
 	codeGen uint64
+	// allGen is the whole-address-space invalidation floor: InvalidateCode
+	// raises it to codeGen, and every page's effective generation is
+	// clamped up to it (see PageGen). This keeps full invalidation O(1)
+	// while ranged mutations touch only the pages actually written.
+	allGen uint64
+	// writeLog is a ring of the byte ranges behind recent generation
+	// bumps, indexed by generation. Consumers that fall behind by more
+	// than CodeWriteLogSize generations (or that observe allGen moving)
+	// fall back to coarser page- or whole-cache invalidation.
+	writeLog [CodeWriteLogSize]codeWrite
+}
+
+// CodeWriteLogSize is the number of recent ranged code mutations the
+// memory remembers for byte-exact cache invalidation.
+const CodeWriteLogSize = 64
+
+type codeWrite struct {
+	gen  uint64
+	addr uint32
+	size uint32
+}
+
+// CodeWrite is the byte range of one ranged code mutation.
+type CodeWrite struct {
+	Addr uint32
+	Size uint32
+}
+
+// CodeWriteAt returns the byte range whose mutation produced generation g,
+// if g is recent enough to still be in the write log. Whole-address-space
+// invalidations never appear here — CodeGenFloor reports those.
+func (m *Memory) CodeWriteAt(g uint64) (CodeWrite, bool) {
+	e := &m.writeLog[g%CodeWriteLogSize]
+	if e.gen != g {
+		return CodeWrite{}, false
+	}
+	return CodeWrite{Addr: e.addr, Size: e.size}, true
+}
+
+// logCodeWrite records the byte range of the mutation that produced the
+// current code generation.
+func (m *Memory) logCodeWrite(addr, size uint32) {
+	m.writeLog[m.codeGen%CodeWriteLogSize] = codeWrite{gen: m.codeGen, addr: addr, size: size}
 }
 
 // New returns an empty address space.
@@ -102,14 +151,54 @@ func New() *Memory {
 	}
 }
 
-// CodeGen returns the current code generation. Any cached decode of
-// executable bytes is stale once the value changes.
+// CodeGen returns the current code generation. Some cached decode of
+// executable bytes may be stale once the value changes; PageGen narrows
+// the staleness to individual pages.
 func (m *Memory) CodeGen() uint64 { return m.codeGen }
 
-// InvalidateCode advances the code generation without touching memory.
-// The DBT wires CodeCache.Flush here so block caches drop decodes of
-// evicted translations even before their bytes are overwritten.
-func (m *Memory) InvalidateCode() { m.codeGen++ }
+// PageGen returns the effective code generation of page number pn
+// (addr/PageSize). A cached decode of bytes on that page is stale once
+// the value moves past the generation observed at decode time. Unmapped
+// pages report the whole-space floor: nothing decodable lives there.
+func (m *Memory) PageGen(pn uint32) uint64 {
+	if pg, ok := m.pages[pn]; ok && pg.gen > m.allGen {
+		return pg.gen
+	}
+	return m.allGen
+}
+
+// CodeGenFloor returns the whole-address-space invalidation floor: the
+// generation every page is clamped up to. Block caches compare it against
+// their sync point to detect a full invalidation without walking pages.
+func (m *Memory) CodeGenFloor() uint64 { return m.allGen }
+
+// InvalidateCode advances the code generation for the entire address
+// space without touching memory — the coarse fallback when the caller
+// cannot name the affected range. Every page's effective generation moves,
+// so consumers drop all cached decodes.
+func (m *Memory) InvalidateCode() {
+	m.codeGen++
+	m.allGen = m.codeGen
+}
+
+// InvalidateCodeRange advances the code generation of the pages covering
+// [addr, addr+size) without touching memory. The DBT wires code-cache
+// flushes here so block caches drop decodes of evicted translations —
+// and only those — even before their bytes are overwritten.
+func (m *Memory) InvalidateCodeRange(addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	m.codeGen++
+	m.logCodeWrite(addr, size)
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for pn := first; pn <= last; pn++ {
+		if pg, ok := m.pages[pn]; ok {
+			pg.gen = m.codeGen
+		}
+	}
+}
 
 // Map creates (or re-permissions) pages covering [addr, addr+size) with the
 // given permissions and, when name is non-empty, records a region of that
@@ -117,17 +206,22 @@ func (m *Memory) InvalidateCode() { m.codeGen++ }
 func (m *Memory) Map(name string, addr, size uint32, perm Perm) Region {
 	first := addr / PageSize
 	last := (addr + size - 1) / PageSize
-	exec := false
+	bumped := false
 	for pn := first; pn <= last; pn++ {
 		if pg, ok := m.pages[pn]; ok {
-			exec = exec || (pg.perm|perm)&PermX != 0
+			if (pg.perm|perm)&PermX != 0 {
+				if !bumped {
+					m.codeGen++
+					m.logCodeWrite(first*PageSize, (last-first+1)*PageSize)
+					bumped = true
+				}
+				pg.gen = m.codeGen
+			}
 			pg.perm = perm
 		} else {
+			// A fresh page cannot have cached decodes: no generation bump.
 			m.pages[pn] = &page{data: make([]byte, PageSize), perm: perm}
 		}
-	}
-	if exec {
-		m.codeGen++
 	}
 	r := Region{Name: name, Base: addr, Size: size, Perm: perm}
 	if name != "" {
@@ -141,15 +235,19 @@ func (m *Memory) Map(name string, addr, size uint32, perm Perm) Region {
 func (m *Memory) Protect(addr, size uint32, perm Perm) {
 	first := addr / PageSize
 	last := (addr + size - 1) / PageSize
-	exec := false
+	bumped := false
 	for pn := first; pn <= last; pn++ {
 		if pg, ok := m.pages[pn]; ok {
-			exec = exec || (pg.perm|perm)&PermX != 0
+			if (pg.perm|perm)&PermX != 0 {
+				if !bumped {
+					m.codeGen++
+					m.logCodeWrite(first*PageSize, (last-first+1)*PageSize)
+					bumped = true
+				}
+				pg.gen = m.codeGen
+			}
 			pg.perm = perm
 		}
-	}
-	if exec {
-		m.codeGen++
 	}
 }
 
@@ -209,20 +307,25 @@ func (m *Memory) Read(addr uint32, buf []byte) error {
 // Write copies buf to addr, requiring write permission.
 func (m *Memory) Write(addr uint32, buf []byte) error {
 	off := addr
-	exec := false
+	n0 := uint32(len(buf))
+	bumped := false
 	for len(buf) > 0 {
 		pg, err := m.pageFor(off, PermW)
 		if err != nil {
 			return err
 		}
-		exec = exec || pg.perm&PermX != 0
+		if pg.perm&PermX != 0 {
+			if !bumped {
+				m.codeGen++
+				m.logCodeWrite(addr, n0)
+				bumped = true
+			}
+			pg.gen = m.codeGen
+		}
 		po := off % PageSize
 		n := copy(pg.data[po:], buf)
 		buf = buf[n:]
 		off += uint32(n)
-	}
-	if exec {
-		m.codeGen++
 	}
 	return nil
 }
@@ -231,7 +334,8 @@ func (m *Memory) Write(addr uint32, buf []byte) error {
 // and the DBT's code-cache emitter use it; simulated programs never do.
 func (m *Memory) WriteForce(addr uint32, buf []byte) {
 	off := addr
-	exec := false
+	n0 := uint32(len(buf))
+	bumped := false
 	for len(buf) > 0 {
 		pn := off / PageSize
 		pg, ok := m.pages[pn]
@@ -239,14 +343,18 @@ func (m *Memory) WriteForce(addr uint32, buf []byte) {
 			pg = &page{data: make([]byte, PageSize)}
 			m.pages[pn] = pg
 		}
-		exec = exec || pg.perm&PermX != 0
+		if pg.perm&PermX != 0 {
+			if !bumped {
+				m.codeGen++
+				m.logCodeWrite(addr, n0)
+				bumped = true
+			}
+			pg.gen = m.codeGen
+		}
 		po := off % PageSize
 		n := copy(pg.data[po:], buf)
 		buf = buf[n:]
 		off += uint32(n)
-	}
-	if exec {
-		m.codeGen++
 	}
 }
 
@@ -330,7 +438,7 @@ func (m *Memory) FetchInto(addr uint32, buf []byte) (int, error) {
 func (m *Memory) Clone() *Memory {
 	c := New()
 	for pn, pg := range m.pages {
-		np := &page{data: make([]byte, PageSize), perm: pg.perm}
+		np := &page{data: make([]byte, PageSize), perm: pg.perm, gen: pg.gen}
 		copy(np.data, pg.data)
 		c.pages[pn] = np
 	}
@@ -338,5 +446,7 @@ func (m *Memory) Clone() *Memory {
 		c.regions[n] = r
 	}
 	c.codeGen = m.codeGen
+	c.allGen = m.allGen
+	c.writeLog = m.writeLog
 	return c
 }

@@ -1,0 +1,143 @@
+package mem
+
+import "testing"
+
+func TestPageGenTracksExecutableWrites(t *testing.T) {
+	m := New()
+	m.Map("text", 0x1000, 2*PageSize, PermRWX)
+	m.Map("data", 0x1000+2*PageSize, PageSize, PermRW)
+	base := m.CodeGen()
+	otherBefore := m.PageGen(0x1000/PageSize + 1)
+
+	if err := m.Write(0x1000, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	g := m.CodeGen()
+	if g != base+1 {
+		t.Fatalf("code gen %d -> %d, want one bump", base, g)
+	}
+	if got := m.PageGen(0x1000 / PageSize); got != g {
+		t.Fatalf("written page gen = %d, want %d", got, g)
+	}
+	if got := m.PageGen(0x1000/PageSize + 1); got != otherBefore {
+		t.Fatalf("untouched exec page gen = %d, want %d (unchanged)", got, otherBefore)
+	}
+
+	// Writes to non-executable pages are invisible to code consumers.
+	if err := m.Write(0x1000+2*PageSize, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if m.CodeGen() != g {
+		t.Fatalf("data write bumped code gen %d -> %d", g, m.CodeGen())
+	}
+}
+
+func TestWriteSpanningPagesBumpsEachExecPage(t *testing.T) {
+	m := New()
+	m.Map("text", 0, 2*PageSize, PermRWX)
+	buf := make([]byte, 8)
+	if err := m.Write(PageSize-4, buf); err != nil {
+		t.Fatal(err)
+	}
+	g := m.CodeGen()
+	if p0, p1 := m.PageGen(0), m.PageGen(1); p0 != g || p1 != g {
+		t.Fatalf("straddling write: page gens %d,%d want both %d", p0, p1, g)
+	}
+	w, ok := m.CodeWriteAt(g)
+	if !ok || w.Addr != PageSize-4 || w.Size != 8 {
+		t.Fatalf("write log entry = %+v ok=%v, want addr=%d size=8", w, ok, PageSize-4)
+	}
+}
+
+func TestInvalidateCodeRangeScopesToPages(t *testing.T) {
+	m := New()
+	m.Map("text", 0, 4*PageSize, PermRX)
+	m.InvalidateCodeRange(PageSize, PageSize) // page 1 only
+	g := m.CodeGen()
+	if got := m.PageGen(1); got != g {
+		t.Fatalf("page 1 gen = %d, want %d", got, g)
+	}
+	for _, pn := range []uint32{0, 2, 3} {
+		if got := m.PageGen(pn); got == g {
+			t.Fatalf("page %d gen moved to %d; range should not cover it", pn, got)
+		}
+	}
+	if m.CodeGenFloor() != 0 {
+		t.Fatalf("ranged invalidation raised the floor to %d", m.CodeGenFloor())
+	}
+	before := m.CodeGen()
+	m.InvalidateCodeRange(0, 0)
+	if m.CodeGen() != before {
+		t.Fatal("zero-size invalidation bumped the generation")
+	}
+}
+
+func TestInvalidateCodeRaisesFloor(t *testing.T) {
+	m := New()
+	m.Map("text", 0, PageSize, PermRX)
+	m.InvalidateCode()
+	g := m.CodeGen()
+	if m.CodeGenFloor() != g {
+		t.Fatalf("floor = %d, want %d", m.CodeGenFloor(), g)
+	}
+	// The floor clamps every page up, even ones never individually bumped.
+	if got := m.PageGen(0); got != g {
+		t.Fatalf("page gen = %d, want floor %d", got, g)
+	}
+	// Full invalidations are deliberately absent from the write log: they
+	// have no byte range to replay.
+	if w, ok := m.CodeWriteAt(g); ok {
+		t.Fatalf("full invalidation appeared in the write log: %+v", w)
+	}
+}
+
+func TestCodeWriteLogRotates(t *testing.T) {
+	m := New()
+	m.Map("text", 0, 32*PageSize, PermRWX)
+	first := m.CodeGen() + 1
+	n := CodeWriteLogSize + 8
+	for i := 0; i < n; i++ {
+		m.InvalidateCodeRange(uint32(i%32)*PageSize, 4)
+	}
+	last := m.CodeGen()
+	// Recent entries replay exactly; entries older than the ring are gone.
+	for g := last - CodeWriteLogSize + 1; g <= last; g++ {
+		w, ok := m.CodeWriteAt(g)
+		if !ok {
+			t.Fatalf("gen %d missing from log (last=%d)", g, last)
+		}
+		wantAddr := uint32((int(g-first))%32) * PageSize
+		if w.Addr != wantAddr || w.Size != 4 {
+			t.Fatalf("gen %d replayed %+v, want addr=%#x size=4", g, w, wantAddr)
+		}
+	}
+	if _, ok := m.CodeWriteAt(last - CodeWriteLogSize); ok {
+		t.Fatalf("gen %d should have rotated out", last-CodeWriteLogSize)
+	}
+}
+
+func TestCloneCarriesPageGens(t *testing.T) {
+	m := New()
+	m.Map("text", 0, 2*PageSize, PermRWX)
+	if err := m.Write(PageSize, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if c.CodeGen() != m.CodeGen() || c.CodeGenFloor() != m.CodeGenFloor() {
+		t.Fatalf("clone gen/floor %d/%d, want %d/%d",
+			c.CodeGen(), c.CodeGenFloor(), m.CodeGen(), m.CodeGenFloor())
+	}
+	if c.PageGen(1) != m.PageGen(1) || c.PageGen(0) != m.PageGen(0) {
+		t.Fatal("clone page generations diverge from original")
+	}
+	if w, ok := c.CodeWriteAt(c.CodeGen()); !ok || w.Addr != PageSize {
+		t.Fatalf("clone write log entry = %+v ok=%v", w, ok)
+	}
+	// Divergence after the clone stays private to each side.
+	if err := m.Write(0, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if c.CodeGen() == m.CodeGen() {
+		t.Fatal("write to original moved the clone's generation")
+	}
+}

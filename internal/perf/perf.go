@@ -213,9 +213,13 @@ type Model struct {
 	tel       *telemetry.Telemetry
 	histPhase *telemetry.Histogram
 
-	lastJcc     *isa.Inst
-	lastJccAddr uint32
-	prevExec    machine.ExecHook
+	// The pending conditional branch is recorded by value, not by *Inst:
+	// the interpreter's block cache recycles evicted instruction storage,
+	// so hooks must not hold pointers into a block across calls.
+	lastJccValid  bool
+	lastJccTarget uint32
+	lastJccAddr   uint32
+	prevExec      machine.ExecHook
 }
 
 // NewModel builds a timing model for the given core.
@@ -289,12 +293,12 @@ func (mo *Model) Observe(m *machine.Machine, in *isa.Inst) {
 
 	// Resolve the previous conditional branch now that the outcome is
 	// visible (the next instruction's address tells the direction).
-	if mo.lastJcc != nil {
-		taken := in.Addr == mo.lastJcc.Target
+	if mo.lastJccValid {
+		taken := in.Addr == mo.lastJccTarget
 		if mo.Bpred.update(mo.lastJccAddr, taken) {
 			mo.Cycles += c.MispredictPenalty
 		}
-		mo.lastJcc = nil
+		mo.lastJccValid = false
 	}
 
 	// Issue bandwidth.
@@ -319,7 +323,8 @@ func (mo *Model) Observe(m *machine.Machine, in *isa.Inst) {
 	case isa.OpJcc:
 		mo.Counts.Branches++
 		mo.Bpred.predict(in.Addr)
-		mo.lastJcc = in
+		mo.lastJccValid = true
+		mo.lastJccTarget = in.Target
 		mo.lastJccAddr = in.Addr
 	case isa.OpCall, isa.OpCallI:
 		mo.Counts.Calls++
