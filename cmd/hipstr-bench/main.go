@@ -5,7 +5,9 @@
 // metrics artifact (-metrics-out) and per-experiment JSON result
 // artifacts (-results-out). Printed tables are byte-identical at any
 // -parallel setting. Use -quick for a reduced sweep on the three smallest
-// benchmarks and -list to see the registry.
+// benchmarks and -list to see the registry. With -listen the observability
+// server exposes the suite's metrics (per-figure series as they publish),
+// the event stream, and pprof over HTTP while the evaluation runs.
 package main
 
 import (
@@ -14,8 +16,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"hipstr"
 )
@@ -29,6 +33,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a metrics JSON artifact (durations, run counters, per-figure series)")
 	resultsOut := flag.String("results-out", "", "write one <experiment>.json result artifact per experiment into this directory")
 	keepGoing := flag.Bool("keep-going", false, "continue with remaining experiments after a failure")
+	listen := flag.String("listen", "", "serve live observability endpoints on this address (e.g. 127.0.0.1:9121)")
 	flag.Parse()
 
 	if *list {
@@ -67,6 +72,32 @@ func main() {
 	// skipped, and the run reports the cancellation.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// The suite registry carries no collectors (experiments publish series
+	// with atomic writes), so handlers can snapshot it live from any
+	// goroutine — no pump needed here, unlike hipstr-run.
+	if *listen != "" {
+		srv, err := hipstr.NewObservabilityServer(*listen, hipstr.ObservabilityOptions{
+			Snapshot: func() (hipstr.MetricsSnapshot, bool) { return tel.Snapshot(), true },
+			Tracer:   tel.Trace,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability: serving http://%s/\n", srv.Addr())
+		go func() {
+			if err := srv.Serve(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				log.Printf("observability shutdown: %v", err)
+			}
+		}()
+	}
 
 	results, err := hipstr.RunExperiments(ctx, s, exps, hipstr.ExperimentOptions{
 		ResultsDir:      *resultsOut,

@@ -2,19 +2,29 @@
 // HIPStR virtual machines and reports execution statistics: live stats on
 // a configurable instruction interval, a final summary, and optional
 // machine-readable telemetry (-metrics-out JSON snapshot, -trace-out JSONL
-// event stream).
+// event stream). With -listen it embeds the observability server, exposing
+// Prometheus metrics, the live trace stream, the guest-cycle sampling
+// profiler, and pprof over HTTP while the simulation runs; -profile-out
+// writes the profiler's folded flamegraph stacks at exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hipstr"
 	"hipstr/internal/isa"
 	"hipstr/internal/machine"
+	"hipstr/internal/obsrv"
 	"hipstr/internal/perf"
+	"hipstr/internal/profiler"
 )
 
 func main() {
@@ -25,7 +35,13 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "stream trace events to this file as JSON lines")
 	interval := flag.Uint64("report-interval", 10_000_000, "print live stats every N instructions (0 = only at exit)")
+	listen := flag.String("listen", "", "serve live observability endpoints on this address (e.g. 127.0.0.1:9120)")
+	profileOut := flag.String("profile-out", "", "write folded flamegraph stacks of the guest-cycle profile to this file")
+	profileInterval := flag.Uint64("profile-interval", profiler.DefaultInterval, "guest-cycle sampling period in instructions")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	tel := hipstr.NewTelemetry()
 	if *traceOut != "" {
@@ -42,6 +58,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The profiler is strictly opt-in: without -profile-out or -listen no
+	// hook is attached and the dispatch loop runs untouched.
+	var prof *profiler.Profiler
+	if *profileOut != "" || *listen != "" {
+		prof = profiler.New(bin, *profileInterval)
+		prof.BindTelemetry(tel)
+	}
+
 	// runChunk executes up to n instructions; finish prints the final
 	// mode-specific summary.
 	var runChunk func(n uint64) (uint64, bool, error)
@@ -56,6 +80,11 @@ func main() {
 		model := perf.NewModel(perf.CoreFor(isa.X86))
 		model.BindTelemetry(tel)
 		model.Attach(p.M)
+		if prof != nil {
+			// After the model: samples then see post-charge cycle counts.
+			prof.BindModel(model)
+			prof.Attach(p.M)
+		}
 		tel.Reg.RegisterCollector(func() {
 			bs := p.M.BlockStats()
 			tel.Reg.Counter("machine.blockcache.hits").Set(bs.Hits)
@@ -93,6 +122,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if prof != nil {
+			// Execution happens in the code caches; resolve cache PCs back
+			// to guest source addresses, and tap the tracer so translation
+			// and migration costs show up as phases.
+			prof.SetResolver(s.VM.ResolvePC)
+			prof.AttachTracer(tel)
+			prof.Attach(s.VM.P.M)
+		}
 		runChunk = func(n uint64) (uint64, bool, error) {
 			ran, err := s.Run(n)
 			return ran, s.Exited(), err
@@ -113,19 +150,55 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	var total uint64
+	// The observability server never touches VM state: this goroutine
+	// publishes snapshots through the pump at chunk boundaries and handlers
+	// serve the latest published copy.
+	var pump obsrv.Pump
+	var srv *obsrv.Server
+	if *listen != "" {
+		opts := obsrv.Options{Snapshot: pump.Latest, Tracer: tel.Trace}
+		if prof != nil {
+			opts.Profile = func() (profiler.Report, bool) { return prof.Report(), true }
+		}
+		srv, err = obsrv.New(*listen, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability: serving http://%s/ (metrics, stats.json, events, profile, debug/pprof)\n", srv.Addr())
+		go func() {
+			if err := srv.Serve(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		pump.Publish(tel.Snapshot())
+	}
+
+	// When serving, cap chunks so scrapes see fresh counters even between
+	// live reports.
+	const publishChunk = 1_000_000
+	var total, lastReport uint64
 	prev := tel.Snapshot()
-	for total < *steps {
+	for total < *steps && ctx.Err() == nil {
 		chunk := *steps - total
 		if *interval != 0 && chunk > *interval {
 			chunk = *interval
 		}
+		if srv != nil && chunk > publishChunk {
+			chunk = publishChunk
+		}
 		ran, exited, err := runChunk(chunk)
 		total += ran
-		if *interval != 0 && !exited {
+		due := *interval != 0 && !exited && total-lastReport >= *interval
+		if srv != nil || due {
 			snap := tel.Snapshot()
-			reportLive(*mode, total, snap, snap.Delta(prev))
-			prev = snap
+			if srv != nil {
+				pump.Publish(snap)
+			}
+			if due {
+				reportLive(*mode, total, snap, snap.Delta(prev))
+				prev = snap
+				lastReport = total
+			}
 		}
 		if err != nil {
 			fmt.Printf("stopped after %d instructions: %v\n", total, err)
@@ -135,8 +208,32 @@ func main() {
 			break
 		}
 	}
+	if ctx.Err() != nil {
+		fmt.Printf("interrupted after %d instructions\n", total)
+	}
 	finish()
+	if srv != nil {
+		pump.Publish(tel.Snapshot())
+	}
 
+	if prof != nil {
+		rep := prof.Report()
+		fmt.Printf("profile: %d samples, %.1f%% of %.3e cycles attributed to guest functions\n",
+			rep.Samples, 100*rep.AttributedRatio, rep.TotalCycles)
+		if *profileOut != "" {
+			f, err := os.Create(*profileOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rep.WriteFolded(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("folded profile written to %s\n", *profileOut)
+		}
+	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
@@ -152,6 +249,20 @@ func main() {
 	}
 	if *traceOut != "" {
 		fmt.Printf("trace written to %s (%d events emitted)\n", *traceOut, tel.Trace.Emitted())
+	}
+
+	// Linger so late scrapers (dashboards, CI curl loops) can read the
+	// final state; Ctrl-C / SIGTERM exits gracefully.
+	if srv != nil {
+		if ctx.Err() == nil {
+			fmt.Printf("run complete; observability server still on http://%s/ (Ctrl-C to exit)\n", srv.Addr())
+			<-ctx.Done()
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("observability shutdown: %v", err)
+		}
 	}
 }
 

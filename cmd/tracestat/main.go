@@ -63,7 +63,10 @@ func main() {
 		log.Fatal(err)
 	}
 	if len(events) == 0 {
-		log.Fatal("no events in trace")
+		// An empty trace is a normal artifact of a run that emitted no
+		// events (or was cut before any): report it clearly, emit the
+		// zero-row tables so pipelines keep working, and exit 0.
+		fmt.Fprintln(os.Stderr, "tracestat: no events in trace (empty input); emitting empty tables")
 	}
 
 	phases := assignPhases(events)
@@ -112,6 +115,11 @@ func accumulate(m map[string]*agg, k string, e telemetry.Event) {
 }
 
 // readEvents parses one telemetry.Event per line, skipping blank lines.
+// A line that fails to parse is held back rather than failing immediately:
+// if it turns out to be the final line of the stream it is the usual
+// signature of a trace cut mid-write (the emitting process was killed), so
+// it is dropped with a warning; an unparsable line followed by more data
+// is genuine corruption and stays fatal.
 func readEvents(path string) ([]telemetry.Event, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
@@ -126,20 +134,30 @@ func readEvents(path string) ([]telemetry.Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	line := 0
+	var pendingErr error
+	pendingLine := 0
 	for sc.Scan() {
 		line++
 		b := sc.Bytes()
 		if len(b) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
 		var e telemetry.Event
 		if err := json.Unmarshal(b, &e); err != nil {
-			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			pendingErr = fmt.Errorf("%s:%d: %w", path, line, err)
+			pendingLine = line
+			continue
 		}
 		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if pendingErr != nil {
+		log.Printf("warning: dropping truncated trailing event at %s:%d", path, pendingLine)
 	}
 	return events, nil
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipstr/internal/telemetry"
+)
+
+func writeTrace(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadEventsEmpty(t *testing.T) {
+	events, err := readEvents(writeTrace(t, ""))
+	if err != nil {
+		t.Fatalf("empty trace: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("got %d events from empty trace", len(events))
+	}
+	// Blank lines only are equally empty.
+	events, err = readEvents(writeTrace(t, "\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("blank-line trace: %d events, %v", len(events), err)
+	}
+}
+
+func TestReadEventsTruncatedTail(t *testing.T) {
+	// A trace cut mid-write: the final line is half an event. It must be
+	// dropped with the parsed prefix preserved, not fail the run.
+	events, err := readEvents(writeTrace(t,
+		`{"seq":1,"type":"translate","isa":"x86","cost":3}`+"\n"+
+			`{"seq":2,"type":"rat-miss","isa":"arm"}`+"\n"+
+			`{"seq":3,"type":"mig`))
+	if err != nil {
+		t.Fatalf("truncated tail must not be fatal: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[1].Seq != 2 {
+		t.Errorf("last kept event seq = %d, want 2", events[1].Seq)
+	}
+}
+
+func TestReadEventsMalformedMidStream(t *testing.T) {
+	// Garbage followed by more data is corruption, not truncation.
+	_, err := readEvents(writeTrace(t,
+		`{"seq":1,"type":"translate"}`+"\n"+
+			"not json\n"+
+			`{"seq":2,"type":"translate"}`))
+	if err == nil {
+		t.Fatal("mid-stream garbage must be fatal")
+	}
+}
+
+func TestAssignPhasesEmpty(t *testing.T) {
+	if labels := assignPhases(nil); len(labels) != 0 {
+		t.Fatalf("assignPhases(nil) = %v", labels)
+	}
+	labels := assignPhases([]telemetry.Event{{Type: telemetry.EvTranslate}})
+	if len(labels) != 1 || labels[0] != "(run)" {
+		t.Fatalf("phase-less trace labels = %v", labels)
+	}
+}

@@ -44,8 +44,10 @@ import (
 	"hipstr/internal/gadget"
 	"hipstr/internal/isa"
 	"hipstr/internal/migrate"
+	"hipstr/internal/obsrv"
 	"hipstr/internal/perf"
 	"hipstr/internal/proc"
+	"hipstr/internal/profiler"
 	"hipstr/internal/prog"
 	"hipstr/internal/psr"
 	"hipstr/internal/telemetry"
@@ -167,6 +169,41 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 // NewJSONLTraceSink returns a sink writing one JSON object per event to w;
 // attach it with tel.Trace.AddSink.
 func NewJSONLTraceSink(w io.Writer) *telemetry.JSONLSink { return telemetry.NewJSONLSink(w) }
+
+// Profiler is the guest-cycle sampling profiler: it attributes simulated
+// cycles to guest basic blocks and functions (symbolized via the fat
+// binary's extended symbol table), including cycles spent in PSR code
+// caches, and exports hot-block tables and folded flamegraph stacks.
+type Profiler = profiler.Profiler
+
+// ProfileReport is a point-in-time profile summary.
+type ProfileReport = profiler.Report
+
+// NewProfiler returns a profiler symbolizing against bin, sampling every
+// interval guest instructions (0 selects the default period). Wire it
+// with Attach (machine hook), BindModel (timing-model cycles), and
+// SetResolver (code-cache PC mapping, e.g. dbt.VM.ResolvePC).
+func NewProfiler(bin *Binary, interval uint64) *Profiler { return profiler.New(bin, interval) }
+
+// ObservabilityOptions configures the embedded observability server's
+// endpoints (/metrics, /stats.json, /events, /profile, /healthz,
+// /debug/pprof/).
+type ObservabilityOptions = obsrv.Options
+
+// ObservabilityServer serves live telemetry over HTTP while a simulation
+// runs.
+type ObservabilityServer = obsrv.Server
+
+// TelemetryPump hands snapshots from the goroutine driving the VM to the
+// observability server's scrape handlers (Snapshot is only safe on the VM
+// goroutine; Pump.Latest is safe anywhere).
+type TelemetryPump = obsrv.Pump
+
+// NewObservabilityServer listens on addr and serves the configured
+// observability endpoints (call Serve to start, Shutdown to stop).
+func NewObservabilityServer(addr string, o ObservabilityOptions) (*ObservabilityServer, error) {
+	return obsrv.New(addr, o)
+}
 
 // Process is an unprotected native process (the baseline).
 type Process = proc.Process

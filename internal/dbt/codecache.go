@@ -8,6 +8,7 @@ package dbt
 
 import (
 	"fmt"
+	"sort"
 
 	"hipstr/internal/fatbin"
 	"hipstr/internal/isa"
@@ -36,6 +37,10 @@ type CodeCache struct {
 	// live in the cache (superblock formation inlines code into units, so
 	// coverage is broader than the unit-entry map).
 	covered [][2]uint32
+	// units records committed unit start addresses. The bump allocator
+	// only grows between flushes, so commits append in ascending order and
+	// UnitAt can binary-search for the unit owning any cache PC.
+	units []uint32
 
 	Flushes      int
 	Translations int
@@ -89,6 +94,24 @@ func (c *CodeCache) SourceOf(cacheAddr uint32) (uint32, bool) {
 	return s, ok
 }
 
+// UnitAt returns the source address of the translation unit whose code
+// contains cache address addr (any PC inside the unit, not just its
+// start). The sampling profiler uses it to attribute cycles spent in
+// translated code back to guest functions. It mutates no counters: a
+// profiler probe must not perturb the hit-ratio telemetry it is measuring.
+func (c *CodeCache) UnitAt(addr uint32) (uint32, bool) {
+	if len(c.units) == 0 || !c.Contains(addr) || addr >= c.Base+c.cur {
+		return 0, false
+	}
+	// First unit starting strictly after addr; its predecessor owns addr.
+	i := sort.Search(len(c.units), func(i int) bool { return c.units[i] > addr })
+	if i == 0 {
+		return 0, false
+	}
+	src, ok := c.cacheToSrc[c.units[i-1]]
+	return src, ok
+}
+
 // Contains reports whether addr falls inside the cache region.
 func (c *CodeCache) Contains(addr uint32) bool {
 	return addr >= c.Base && addr-c.Base < c.Size
@@ -125,6 +148,7 @@ func (c *CodeCache) Commit(m *mem.Memory, src, cacheAddr uint32, code []byte) {
 	m.WriteForce(cacheAddr, code)
 	c.srcToCache[src] = cacheAddr
 	c.cacheToSrc[cacheAddr] = src
+	c.units = append(c.units, cacheAddr)
 	c.Translations++
 }
 
@@ -181,6 +205,7 @@ func (c *CodeCache) Flush() {
 	c.cacheToSrc = make(map[uint32]uint32)
 	c.indirectTargets = make(map[uint32]bool)
 	c.covered = nil
+	c.units = nil
 	c.Flushes++
 	if c.OnFlush != nil {
 		c.OnFlush(c.Base, used)

@@ -257,6 +257,23 @@ func (vm *VM) RATOf(k isa.Kind) *RAT { return vm.rats[k] }
 // Telemetry returns the VM's metrics registry and event tracer.
 func (vm *VM) Telemetry() *telemetry.Telemetry { return vm.tel }
 
+// ResolvePC maps an executing PC on ISA k to the guest source address it
+// executes on behalf of: PCs inside ISA k's code cache (translated units,
+// including their trap stubs) resolve through the owning translation
+// unit's source block; guest-text PCs resolve to themselves. It reports
+// false for addresses in neither region (or in a cache gap left by
+// alignment before the first unit). Single-goroutine, like every other VM
+// accessor: the sampling profiler calls it from the machine's exec hook.
+func (vm *VM) ResolvePC(k isa.Kind, pc uint32) (uint32, bool) {
+	if c := vm.caches[k]; c.Contains(pc) {
+		return c.UnitAt(pc)
+	}
+	if vm.Bin.FuncAt(k, pc) != nil {
+		return pc, true
+	}
+	return pc, false
+}
+
 // registerTelemetry wires the VM into its registry. The raw Stats / RAT /
 // CodeCache fields stay the canonical (and allocation-free) counters; a
 // collector mirrors them into the registry at snapshot time, so the

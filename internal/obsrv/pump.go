@@ -1,0 +1,36 @@
+package obsrv
+
+import (
+	"sync"
+
+	"hipstr/internal/telemetry"
+)
+
+// Pump decouples telemetry snapshotting from HTTP scraping. Registry
+// collectors read non-atomic VM state, so Snapshot() is only safe on the
+// goroutine driving the VM; that goroutine Publishes a fresh snapshot at
+// chunk boundaries and HTTP handlers serve the latest published copy from
+// any goroutine. Because each published snapshot is strictly newer,
+// successive scrapes still observe monotonically increasing counters.
+type Pump struct {
+	mu   sync.RWMutex
+	snap telemetry.Snapshot
+	ok   bool
+}
+
+// Publish stores s as the snapshot scrapes will serve. Call it only from
+// the goroutine that owns the VM (typically right after tel.Snapshot()).
+func (p *Pump) Publish(s telemetry.Snapshot) {
+	p.mu.Lock()
+	p.snap = s
+	p.ok = true
+	p.mu.Unlock()
+}
+
+// Latest returns the most recently published snapshot; ok is false before
+// the first Publish.
+func (p *Pump) Latest() (telemetry.Snapshot, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.snap, p.ok
+}

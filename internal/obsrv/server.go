@@ -1,0 +1,244 @@
+// Package obsrv is the HIPStR VM's embedded observability server: it
+// exposes the telemetry subsystem over HTTP while a simulation runs —
+// Prometheus exposition at /metrics, the full stats snapshot at
+// /stats.json, a live server-sent-event stream of the trace ring at
+// /events, the sampling profiler at /profile, /healthz, and the stdlib
+// pprof handlers under /debug/pprof/ for introspecting the simulator
+// itself. The server never touches VM state directly: scrapes read
+// snapshots published through a Pump by the goroutine driving the VM, and
+// the SSE hub's fan-out is drop-oldest so a slow curl can never stall
+// translation or migration trap paths.
+package obsrv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"hipstr/internal/profiler"
+	"hipstr/internal/telemetry"
+)
+
+// Options configures the endpoints. Nil fields disable their endpoints
+// (404 for /profile, 503 for /metrics and /stats.json, empty stream for
+// /events).
+type Options struct {
+	// Snapshot supplies the latest telemetry snapshot (typically
+	// Pump.Latest). ok=false means none has been published yet.
+	Snapshot func() (telemetry.Snapshot, bool)
+	// Tracer, when set, feeds /events subscribers (its buffered ring is
+	// replayed as backlog on connect).
+	Tracer *telemetry.Tracer
+	// Profile supplies the live profiler report for /profile.
+	Profile func() (profiler.Report, bool)
+	// Health, when set, contributes a detail line to /healthz.
+	Health func() string
+	// SSEBuffer overrides the per-subscriber ring capacity (tests).
+	SSEBuffer int
+}
+
+// Server serves the observability endpoints on one listener.
+type Server struct {
+	srv    *http.Server
+	ln     net.Listener
+	hub    *EventHub
+	cancel context.CancelFunc
+}
+
+// NewHandler builds the route mux. The returned hub is attached to
+// o.Tracer (nil when no tracer was given).
+func NewHandler(o Options) (http.Handler, *EventHub) {
+	var hub *EventHub
+	if o.Tracer != nil {
+		hub = NewEventHub(o.SSEBuffer)
+		o.Tracer.AddSink(hub)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "hipstr observability\n\n"+
+			"/metrics      Prometheus exposition\n"+
+			"/stats.json   full telemetry snapshot\n"+
+			"/events       live trace stream (SSE)\n"+
+			"/profile      sampling profiler (?format=folded|top|json, ?n=N)\n"+
+			"/healthz      liveness\n"+
+			"/debug/pprof  simulator self-profiling\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		if o.Health != nil {
+			fmt.Fprintln(w, o.Health())
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := latest(o)
+		if !ok {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WriteProm(w)
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := latest(o)
+		if !ok {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		if o.Profile == nil {
+			http.Error(w, "profiler not enabled (run with -profile-out or -profile-interval)", http.StatusNotFound)
+			return
+		}
+		rep, ok := o.Profile()
+		if !ok {
+			http.Error(w, "no profile yet", http.StatusServiceUnavailable)
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			rep.WriteJSON(w)
+		case "top":
+			n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteTop(w, n)
+		default: // folded flamegraph stacks
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteFolded(w)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(w, r, o.Tracer, hub)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux, hub
+}
+
+func latest(o Options) (telemetry.Snapshot, bool) {
+	if o.Snapshot == nil {
+		return telemetry.Snapshot{}, false
+	}
+	return o.Snapshot()
+}
+
+// serveSSE streams trace events: the tracer's buffered ring as backlog,
+// then live events until the client disconnects. Frames carry the event
+// sequence number as the SSE id; dropped events surface as comment lines
+// so consumers can detect gaps.
+func serveSSE(w http.ResponseWriter, r *http.Request, tr *telemetry.Tracer, hub *EventHub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if hub == nil || tr == nil {
+		fmt.Fprint(w, ": no tracer attached\n\n")
+		fl.Flush()
+		return
+	}
+	sub := hub.Subscribe()
+	defer hub.Unsubscribe(sub)
+	// Backlog: subscribe first, then replay the ring, skipping any overlap
+	// delivered through the subscription while we replayed.
+	var lastSeq uint64
+	for _, e := range tr.Events() {
+		writeSSE(w, e)
+		lastSeq = e.Seq
+	}
+	fl.Flush()
+	for {
+		events, dropped := sub.Drain()
+		if dropped > 0 {
+			fmt.Fprintf(w, ": dropped %d events (slow consumer)\n\n", dropped)
+		}
+		wrote := dropped > 0
+		for _, e := range events {
+			if e.Seq <= lastSeq {
+				continue
+			}
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			lastSeq = e.Seq
+			wrote = true
+		}
+		if wrote {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Notify():
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, e telemetry.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, data)
+	return err
+}
+
+// New listens on addr and returns a server ready to Serve. Pass an
+// explicit port 0 to let the OS choose (Addr reports the result).
+func New(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsrv: listen %s: %w", addr, err)
+	}
+	h, hub := NewHandler(o)
+	// Request contexts derive from this base context so Shutdown can end
+	// otherwise-unbounded SSE streams.
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: 5 * time.Second,
+			BaseContext:       func(net.Listener) context.Context { return ctx },
+		},
+		ln:     ln,
+		hub:    hub,
+		cancel: cancel,
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Hub returns the SSE hub (nil when no tracer was configured).
+func (s *Server) Hub() *EventHub { return s.hub }
+
+// Serve blocks serving requests until Shutdown; it returns
+// http.ErrServerClosed after a graceful shutdown.
+func (s *Server) Serve() error { return s.srv.Serve(s.ln) }
+
+// Shutdown gracefully drains in-flight requests. SSE streams hold their
+// connections open, so Shutdown first cancels the base context to unblock
+// them.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	return s.srv.Shutdown(ctx)
+}

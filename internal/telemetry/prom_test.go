@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePromByteStable pins the exposition output of a fixed registry:
+// family order (counters, gauges, histograms), lexical name order within a
+// family, name sanitization, and cumulative le buckets.
+func TestWritePromByteStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dbt.translations.x86").Add(7)
+	r.Counter("dbt.translations.arm").Add(3)
+	r.Gauge("dbt.cache.x86.occupancy").Set(0.25)
+	h := r.Histogram("dbt.translate.latency_us.x86")
+	h.Observe(1)   // bucket le=1
+	h.Observe(1)   // bucket le=1
+	h.Observe(3)   // bucket le=4
+	h.Observe(100) // bucket le=128
+
+	want := strings.Join([]string{
+		"# TYPE dbt_translations_arm counter",
+		"dbt_translations_arm 3",
+		"# TYPE dbt_translations_x86 counter",
+		"dbt_translations_x86 7",
+		"# TYPE dbt_cache_x86_occupancy gauge",
+		"dbt_cache_x86_occupancy 0.25",
+		"# TYPE dbt_translate_latency_us_x86 histogram",
+		`dbt_translate_latency_us_x86_bucket{le="1"} 2`,
+		`dbt_translate_latency_us_x86_bucket{le="4"} 3`,
+		`dbt_translate_latency_us_x86_bucket{le="128"} 4`,
+		`dbt_translate_latency_us_x86_bucket{le="+Inf"} 4`,
+		"dbt_translate_latency_us_x86_sum 105",
+		"dbt_translate_latency_us_x86_count 4",
+		"",
+	}, "\n")
+
+	for i := 0; i < 3; i++ {
+		var b strings.Builder
+		if err := r.Snapshot().WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.String(); got != want {
+			t.Fatalf("exposition mismatch (iteration %d):\ngot:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"dbt.rat.x86.misses": "dbt_rat_x86_misses",
+		"a-b c/d":            "a_b_c_d",
+		"0abc":               "_0abc",
+		"ok_name:x":          "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := EscapeLabel("plain"); got != "plain" {
+		t.Errorf("EscapeLabel(plain) = %q", got)
+	}
+	if got := EscapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("EscapeLabel = %q", got)
+	}
+}
+
+// TestRegistryKindConflict pins the loud-failure contract: reusing a
+// metric name under a different kind panics with the name in the message.
+func TestRegistryKindConflict(t *testing.T) {
+	cases := []struct {
+		name  string
+		first func(r *Registry)
+		then  func(r *Registry)
+	}{
+		{"counter-then-gauge", func(r *Registry) { r.Counter("x.y") }, func(r *Registry) { r.Gauge("x.y") }},
+		{"counter-then-histogram", func(r *Registry) { r.Counter("x.y") }, func(r *Registry) { r.Histogram("x.y") }},
+		{"gauge-then-counter", func(r *Registry) { r.Gauge("x.y") }, func(r *Registry) { r.Counter("x.y") }},
+		{"gauge-then-histogram", func(r *Registry) { r.Gauge("x.y") }, func(r *Registry) { r.Histogram("x.y") }},
+		{"histogram-then-counter", func(r *Registry) { r.Histogram("x.y") }, func(r *Registry) { r.Counter("x.y") }},
+		{"histogram-then-gauge", func(r *Registry) { r.Histogram("x.y") }, func(r *Registry) { r.Gauge("x.y") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.first(r)
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					t.Fatal("expected panic on kind conflict")
+				}
+				msg, ok := rec.(string)
+				if !ok || !strings.Contains(msg, `"x.y"`) {
+					t.Fatalf("panic message %v does not name the metric", rec)
+				}
+			}()
+			tc.then(r)
+		})
+	}
+}
+
+// TestRegistrySameKindIdempotent guards against over-eager conflict
+// detection: re-requesting the same name under the same kind returns the
+// same metric.
+func TestRegistrySameKindIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("c") != r.Histogram("c") {
+		t.Error("Histogram not idempotent")
+	}
+}

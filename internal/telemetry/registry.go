@@ -16,6 +16,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -245,7 +246,28 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Counter returns (creating on first use) the named counter.
+// checkKind panics when name is already registered under a different
+// metric kind. Reusing a name across kinds silently forks the metric
+// namespace (JSON snapshots keep separate maps but Prometheus exposition
+// and dashboards key by name alone), so it fails loudly instead. The
+// caller holds the write lock.
+func (r *Registry) checkKind(name, want string) {
+	var have string
+	switch {
+	case want != "counter" && r.counters[name] != nil:
+		have = "counter"
+	case want != "gauge" && r.gauges[name] != nil:
+		have = "gauge"
+	case want != "histogram" && r.hists[name] != nil:
+		have = "histogram"
+	default:
+		return
+	}
+	panic(fmt.Sprintf("telemetry: metric %q already registered as a %s (requested %s)", name, have, want))
+}
+
+// Counter returns (creating on first use) the named counter. Requesting a
+// name already held by a gauge or histogram panics.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.RLock()
 	c, ok := r.counters[name]
@@ -256,13 +278,15 @@ func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c, ok = r.counters[name]; !ok {
+		r.checkKind(name, "counter")
 		c = &Counter{}
 		r.counters[name] = c
 	}
 	return c
 }
 
-// Gauge returns (creating on first use) the named gauge.
+// Gauge returns (creating on first use) the named gauge. Requesting a
+// name already held by a counter or histogram panics.
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.RLock()
 	g, ok := r.gauges[name]
@@ -273,6 +297,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if g, ok = r.gauges[name]; !ok {
+		r.checkKind(name, "gauge")
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -280,6 +305,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns (creating on first use) the named histogram.
+// Requesting a name already held by a counter or gauge panics.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.RLock()
 	h, ok := r.hists[name]
@@ -290,6 +316,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h, ok = r.hists[name]; !ok {
+		r.checkKind(name, "histogram")
 		h = &Histogram{}
 		r.hists[name] = h
 	}
