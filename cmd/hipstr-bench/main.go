@@ -34,6 +34,7 @@ func main() {
 	resultsOut := flag.String("results-out", "", "write one <experiment>.json result artifact per experiment into this directory")
 	keepGoing := flag.Bool("keep-going", false, "continue with remaining experiments after a failure")
 	listen := flag.String("listen", "", "serve live observability endpoints on this address (e.g. 127.0.0.1:9121)")
+	timelineOut := flag.String("timeline-out", "", "write the experiment/cell span timeline as Chrome trace JSON (open in ui.perfetto.dev)")
 	flag.Parse()
 
 	if *list {
@@ -67,6 +68,10 @@ func main() {
 	s.Parallel = *parallel
 	tel := hipstr.NewTelemetry()
 	s.Telemetry = tel
+	var spans *hipstr.SpanTracer
+	if *timelineOut != "" || *listen != "" {
+		spans = tel.EnableSpans(0)
+	}
 
 	// Ctrl-C cancels mid-sweep: in-flight cells finish, the rest are
 	// skipped, and the run reports the cancellation.
@@ -80,6 +85,7 @@ func main() {
 		srv, err := hipstr.NewObservabilityServer(*listen, hipstr.ObservabilityOptions{
 			Snapshot: func() (hipstr.MetricsSnapshot, bool) { return tel.Snapshot(), true },
 			Tracer:   tel.Trace,
+			Spans:    spans,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -111,6 +117,20 @@ func main() {
 		fmt.Fprintf(w, "%d result artifacts written to %s\n", len(results), *resultsOut)
 	}
 
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hipstr.WriteChromeTrace(f, spans.Spans(), nil); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "timeline written to %s (%d spans; open in ui.perfetto.dev)\n",
+			*timelineOut, spans.Completed())
+	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {

@@ -2,7 +2,8 @@
 // HIPStR virtual machines and reports execution statistics: live stats on
 // a configurable instruction interval, a final summary, and optional
 // machine-readable telemetry (-metrics-out JSON snapshot, -trace-out JSONL
-// event stream). With -listen it embeds the observability server, exposing
+// event stream, -timeline-out Perfetto span timeline). With -listen it
+// embeds the observability server, exposing
 // Prometheus metrics, the live trace stream, the guest-cycle sampling
 // profiler, and pprof over HTTP while the simulation runs; -profile-out
 // writes the profiler's folded flamegraph stacks at exit.
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "randomization seed")
 	metricsOut := flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "stream trace events to this file as JSON lines")
+	timelineOut := flag.String("timeline-out", "", "write the span timeline as Chrome trace JSON (open in ui.perfetto.dev)")
 	interval := flag.Uint64("report-interval", 10_000_000, "print live stats every N instructions (0 = only at exit)")
 	listen := flag.String("listen", "", "serve live observability endpoints on this address (e.g. 127.0.0.1:9120)")
 	profileOut := flag.String("profile-out", "", "write folded flamegraph stacks of the guest-cycle profile to this file")
@@ -44,6 +46,12 @@ func main() {
 	defer stop()
 
 	tel := hipstr.NewTelemetry()
+	// Span tracing is strictly opt-in: without -timeline-out or -listen the
+	// span tracer stays nil and instrumented paths cost one nil check.
+	var spans *hipstr.SpanTracer
+	if *timelineOut != "" || *listen != "" {
+		spans = tel.EnableSpans(0)
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -51,6 +59,11 @@ func main() {
 		}
 		defer f.Close()
 		tel.Trace.AddSink(hipstr.NewJSONLTraceSink(f))
+		// Completed spans share the stream; tracestat tells the line kinds
+		// apart by the spans' "kind":"span" discriminator.
+		if spans != nil {
+			spans.AddSink(hipstr.NewSpanJSONLSink(f))
+		}
 	}
 
 	bin, err := hipstr.CompileWorkload(*name)
@@ -80,6 +93,11 @@ func main() {
 		model := perf.NewModel(perf.CoreFor(isa.X86))
 		model.BindTelemetry(tel)
 		model.Attach(p.M)
+		if spans != nil {
+			// Guest-cycle span domain: the timing model's cycle counter.
+			spans.SetCycleSource(func() float64 { return model.Cycles })
+			p.M.Spans = spans
+		}
 		if prof != nil {
 			// After the model: samples then see post-charge cycle counts.
 			prof.BindModel(model)
@@ -122,11 +140,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if spans != nil {
+			// Guest-cycle span domain: no timing model is attached under the
+			// VMs, so retired guest instructions stand in for cycles.
+			m := s.VM.P.M
+			spans.SetCycleSource(func() float64 { return float64(m.Steps) })
+			m.Spans = spans
+		}
 		if prof != nil {
 			// Execution happens in the code caches; resolve cache PCs back
 			// to guest source addresses, and tap the tracer so translation
 			// and migration costs show up as phases.
-			prof.SetResolver(s.VM.ResolvePC)
+			// The class resolver additionally splits cycles sampled in trap
+			// stubs out of "interpret" into "vm-dispatch".
+			prof.SetClassResolver(s.VM.ResolvePCClass)
 			prof.AttachTracer(tel)
 			prof.Attach(s.VM.P.M)
 		}
@@ -156,7 +183,7 @@ func main() {
 	var pump obsrv.Pump
 	var srv *obsrv.Server
 	if *listen != "" {
-		opts := obsrv.Options{Snapshot: pump.Latest, Tracer: tel.Trace}
+		opts := obsrv.Options{Snapshot: pump.Latest, Tracer: tel.Trace, Spans: spans}
 		if prof != nil {
 			opts.Profile = func() (profiler.Report, bool) { return prof.Report(), true }
 		}
@@ -233,6 +260,20 @@ func main() {
 			}
 			fmt.Printf("folded profile written to %s\n", *profileOut)
 		}
+	}
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hipstr.WriteChromeTrace(f, spans.Spans(), tel.Trace.Events()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline written to %s (%d spans; open in ui.perfetto.dev)\n",
+			*timelineOut, spans.Completed())
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -13,9 +13,15 @@
 // so costed events (translation latency, migration cost, phase cycles)
 // dominate the graph while cost-less events still appear.
 //
+// Traces recorded with span tracing enabled mix span records (lines with
+// "kind":"span") into the event stream. tracestat separates them out,
+// prints a per-span-phase duration table (count, wall-clock, guest
+// cycles, modeled cost), and with -chrome re-exports the whole trace as
+// Chrome trace-event JSON loadable in ui.perfetto.dev.
+//
 // Usage:
 //
-//	tracestat [-folded out.folded] [-top N] trace.jsonl
+//	tracestat [-folded out.folded] [-chrome out.json] [-top N] trace.jsonl
 //
 // The input may be "-" for stdin.
 package main
@@ -51,18 +57,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracestat: ")
 	folded := flag.String("folded", "", "write flamegraph folded stacks to this file")
+	chrome := flag.String("chrome", "", "re-export the trace as Chrome trace-event JSON to this file")
 	top := flag.Int("top", 0, "limit per-phase rows to the N highest-cost phases (0 = all)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracestat [-folded out.folded] [-top N] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-folded out.folded] [-chrome out.json] [-top N] trace.jsonl")
 		os.Exit(2)
 	}
 
-	events, err := readEvents(flag.Arg(0))
+	events, spans, err := readTrace(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(events) == 0 {
+	if len(events) == 0 && len(spans) == 0 {
 		// An empty trace is a normal artifact of a run that emitted no
 		// events (or was cut before any): report it clearly, emit the
 		// zero-row tables so pipelines keep working, and exit 0.
@@ -95,12 +102,22 @@ func main() {
 
 	printTypeTable(byType, len(events))
 	printPhaseTable(byPhase, phaseOrder, *top)
+	if len(spans) > 0 {
+		printSpanTable(spans)
+	}
 
 	if *folded != "" {
 		if err := writeFolded(*folded, cells); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("folded stacks written to %s (%d rows)\n", *folded, len(cells))
+	}
+	if *chrome != "" {
+		if err := writeChrome(*chrome, spans, events); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (%d spans, %d events; open in ui.perfetto.dev)\n",
+			*chrome, len(spans), len(events))
 	}
 }
 
@@ -114,23 +131,26 @@ func accumulate(m map[string]*agg, k string, e telemetry.Event) {
 	a.cost += e.Cost
 }
 
-// readEvents parses one telemetry.Event per line, skipping blank lines.
-// A line that fails to parse is held back rather than failing immediately:
-// if it turns out to be the final line of the stream it is the usual
-// signature of a trace cut mid-write (the emitting process was killed), so
-// it is dropped with a warning; an unparsable line followed by more data
-// is genuine corruption and stays fatal.
-func readEvents(path string) ([]telemetry.Event, error) {
+// readTrace parses one record per line — a telemetry.SpanEvent when the
+// line carries the "kind":"span" discriminator, a telemetry.Event
+// otherwise — skipping blank lines. A line that fails to parse is held
+// back rather than failing immediately: if it turns out to be the final
+// line of the stream it is the usual signature of a trace cut mid-write
+// (the emitting process was killed), so it is dropped with a warning; an
+// unparsable line followed by more data is genuine corruption and stays
+// fatal.
+func readTrace(path string) ([]telemetry.Event, []telemetry.SpanEvent, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer f.Close()
 		r = f
 	}
 	var events []telemetry.Event
+	var spans []telemetry.SpanEvent
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	line := 0
@@ -143,7 +163,25 @@ func readEvents(path string) ([]telemetry.Event, error) {
 			continue
 		}
 		if pendingErr != nil {
-			return nil, pendingErr
+			return nil, nil, pendingErr
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil {
+			pendingErr = fmt.Errorf("%s:%d: %w", path, line, err)
+			pendingLine = line
+			continue
+		}
+		if probe.Kind == "span" {
+			var s telemetry.SpanEvent
+			if err := json.Unmarshal(b, &s); err != nil {
+				pendingErr = fmt.Errorf("%s:%d: %w", path, line, err)
+				pendingLine = line
+				continue
+			}
+			spans = append(spans, s)
+			continue
 		}
 		var e telemetry.Event
 		if err := json.Unmarshal(b, &e); err != nil {
@@ -154,12 +192,12 @@ func readEvents(path string) ([]telemetry.Event, error) {
 		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if pendingErr != nil {
-		log.Printf("warning: dropping truncated trailing event at %s:%d", path, pendingLine)
+		log.Printf("warning: dropping truncated trailing record at %s:%d", path, pendingLine)
 	}
-	return events, nil
+	return events, spans, nil
 }
 
 // assignPhases labels each event with the phase that closes at or after it.
@@ -238,6 +276,69 @@ func printPhaseTable(byPhase map[string]*agg, order []string, top int) {
 		a := byPhase[p]
 		fmt.Printf("%-18s %10d %14.1f\n", p, a.count, a.cost)
 	}
+}
+
+// printSpanTable aggregates span records by track and name (one row per
+// span phase — "migrate/rat-rebuild", "dbt/translate", ...) and prints
+// counts with totals in all three span domains: wall clock, guest
+// cycles, and modeled cost.
+func printSpanTable(spans []telemetry.SpanEvent) {
+	type srow struct {
+		count  uint64
+		wallNS int64
+		cycles float64
+		costUS float64
+	}
+	rows := map[string]*srow{}
+	for _, s := range spans {
+		name := s.Name
+		if s.Track != "" {
+			name = s.Track + "/" + s.Name
+		}
+		r := rows[name]
+		if r == nil {
+			r = &srow{}
+			rows[name] = r
+		}
+		r.count++
+		r.wallNS += s.DurNS
+		r.cycles += s.DurCycles
+		r.costUS += s.CostUS
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := rows[names[i]], rows[names[j]]
+		if a.wallNS != b.wallNS {
+			return a.wallNS > b.wallNS
+		}
+		return names[i] < names[j]
+	})
+	fmt.Printf("\n%d spans\n\n", len(spans))
+	fmt.Printf("%-24s %8s %12s %12s %14s %12s\n", "span phase", "count", "wall ms", "avg us", "guest cycles", "cost us")
+	for _, n := range names {
+		r := rows[n]
+		fmt.Printf("%-24s %8d %12.3f %12.3f %14.0f %12.1f\n",
+			n, r.count,
+			float64(r.wallNS)/1e6,
+			float64(r.wallNS)/1e3/float64(r.count),
+			r.cycles, r.costUS)
+	}
+}
+
+// writeChrome re-exports the trace in the Chrome trace-event format.
+func writeChrome(path string, spans []telemetry.SpanEvent, events []telemetry.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, spans, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeFolded emits "phase;event-type;isa weight" lines sorted by stack name

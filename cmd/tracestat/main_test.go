@@ -17,25 +17,25 @@ func writeTrace(t *testing.T, content string) string {
 	return path
 }
 
-func TestReadEventsEmpty(t *testing.T) {
-	events, err := readEvents(writeTrace(t, ""))
+func TestReadTraceEmpty(t *testing.T) {
+	events, spans, err := readTrace(writeTrace(t, ""))
 	if err != nil {
 		t.Fatalf("empty trace: %v", err)
 	}
-	if len(events) != 0 {
-		t.Fatalf("got %d events from empty trace", len(events))
+	if len(events) != 0 || len(spans) != 0 {
+		t.Fatalf("got %d events, %d spans from empty trace", len(events), len(spans))
 	}
 	// Blank lines only are equally empty.
-	events, err = readEvents(writeTrace(t, "\n\n"))
-	if err != nil || len(events) != 0 {
-		t.Fatalf("blank-line trace: %d events, %v", len(events), err)
+	events, spans, err = readTrace(writeTrace(t, "\n\n"))
+	if err != nil || len(events) != 0 || len(spans) != 0 {
+		t.Fatalf("blank-line trace: %d events, %d spans, %v", len(events), len(spans), err)
 	}
 }
 
-func TestReadEventsTruncatedTail(t *testing.T) {
+func TestReadTraceTruncatedTail(t *testing.T) {
 	// A trace cut mid-write: the final line is half an event. It must be
 	// dropped with the parsed prefix preserved, not fail the run.
-	events, err := readEvents(writeTrace(t,
+	events, _, err := readTrace(writeTrace(t,
 		`{"seq":1,"type":"translate","isa":"x86","cost":3}`+"\n"+
 			`{"seq":2,"type":"rat-miss","isa":"arm"}`+"\n"+
 			`{"seq":3,"type":"mig`))
@@ -50,14 +50,36 @@ func TestReadEventsTruncatedTail(t *testing.T) {
 	}
 }
 
-func TestReadEventsMalformedMidStream(t *testing.T) {
+func TestReadTraceMalformedMidStream(t *testing.T) {
 	// Garbage followed by more data is corruption, not truncation.
-	_, err := readEvents(writeTrace(t,
+	_, _, err := readTrace(writeTrace(t,
 		`{"seq":1,"type":"translate"}`+"\n"+
 			"not json\n"+
 			`{"seq":2,"type":"translate"}`))
 	if err == nil {
 		t.Fatal("mid-stream garbage must be fatal")
+	}
+}
+
+func TestReadTraceMixedSpans(t *testing.T) {
+	// Span records carry "kind":"span" and route to the span list; point
+	// events keep flowing to the event list, in stream order.
+	events, spans, err := readTrace(writeTrace(t,
+		`{"seq":1,"type":"translate","isa":"x86","cost":3}`+"\n"+
+			`{"kind":"span","id":1,"name":"migrate","track":"migrate","start_ns":10,"dur_ns":900,"cost_us":620}`+"\n"+
+			`{"kind":"span","id":2,"parent":1,"name":"resume","track":"migrate","start_ns":700,"dur_ns":200}`+"\n"+
+			`{"seq":2,"type":"rat-miss","isa":"arm"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || len(spans) != 2 {
+		t.Fatalf("got %d events, %d spans, want 2 and 2", len(events), len(spans))
+	}
+	if spans[0].Name != "migrate" || spans[0].CostUS != 620 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1].ParentID != 1 || spans[1].DurNS != 200 {
+		t.Errorf("span 1 = %+v", spans[1])
 	}
 }
 

@@ -163,8 +163,31 @@ type TraceEvent = telemetry.Event
 // TraceSink receives every trace event as it is emitted.
 type TraceSink = telemetry.Sink
 
+// Span is one in-flight trace span; the zero Span is valid and inert, so
+// instrumentation sites need no enabled/disabled branches.
+type Span = telemetry.Span
+
+// SpanEvent is one completed span record, carrying wall-clock and
+// guest-cycle durations plus the modeled cost attributed to the span.
+type SpanEvent = telemetry.SpanEvent
+
+// SpanTracer records completed spans into a bounded ring with sink
+// fan-out; enable one on a Telemetry via its EnableSpans method.
+type SpanTracer = telemetry.SpanTracer
+
+// WriteChromeTrace writes spans (plus optional point events) as Chrome
+// trace-event JSON, loadable in ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []SpanEvent, events []TraceEvent) error {
+	return telemetry.WriteChromeTrace(w, spans, events)
+}
+
 // NewTelemetry returns a fresh metrics registry + event tracer pair.
 func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewSpanJSONLSink returns a span sink writing one JSON object per
+// completed span to w; the "kind":"span" field keeps span lines
+// distinguishable from point events sharing the stream.
+func NewSpanJSONLSink(w io.Writer) *telemetry.SpanJSONLSink { return telemetry.NewSpanJSONLSink(w) }
 
 // NewJSONLTraceSink returns a sink writing one JSON object per event to w;
 // attach it with tel.Trace.AddSink.

@@ -41,6 +41,11 @@ type CodeCache struct {
 	// only grows between flushes, so commits append in ascending order and
 	// UnitAt can binary-search for the unit owning any cache PC.
 	units []uint32
+	// stubStarts parallels units: where each unit's deferred trap-stub
+	// region (chain dispatch stubs emitted after the body) begins. A unit
+	// with no stubs records its end address, so nothing classifies as
+	// stub.
+	stubStarts []uint32
 
 	Flushes      int
 	Translations int
@@ -149,7 +154,31 @@ func (c *CodeCache) Commit(m *mem.Memory, src, cacheAddr uint32, code []byte) {
 	c.srcToCache[src] = cacheAddr
 	c.cacheToSrc[cacheAddr] = src
 	c.units = append(c.units, cacheAddr)
+	c.stubStarts = append(c.stubStarts, cacheAddr+uint32(len(code)))
 	c.Translations++
+}
+
+// SetStubStart records where the most recently committed unit's trap-stub
+// region begins (the translator learns it from the assembler's label map
+// after Commit).
+func (c *CodeCache) SetStubStart(stubAddr uint32) {
+	if n := len(c.stubStarts); n > 0 {
+		c.stubStarts[n-1] = stubAddr
+	}
+}
+
+// StubAt reports whether cache address addr falls inside its unit's
+// trap-stub region — VM dispatch overhead rather than translated guest
+// code. Like UnitAt it mutates no counters.
+func (c *CodeCache) StubAt(addr uint32) bool {
+	if len(c.units) == 0 || !c.Contains(addr) || addr >= c.Base+c.cur {
+		return false
+	}
+	i := sort.Search(len(c.units), func(i int) bool { return c.units[i] > addr })
+	if i == 0 {
+		return false
+	}
+	return addr >= c.stubStarts[i-1]
 }
 
 // Patch rewrites bytes inside a committed unit (branch chaining).
@@ -206,6 +235,7 @@ func (c *CodeCache) Flush() {
 	c.indirectTargets = make(map[uint32]bool)
 	c.covered = nil
 	c.units = nil
+	c.stubStarts = nil
 	c.Flushes++
 	if c.OnFlush != nil {
 		c.OnFlush(c.Base, used)

@@ -441,7 +441,14 @@ func (t *translator) srcRanges() [][2]uint32 {
 }
 
 // flushStubs emits the deferred chain-trap stubs after the unit body.
+// stubsLabel marks where a unit's deferred trap-stub region begins in the
+// assembled code. The translator resolves it through the label map after
+// assembly so the code cache can classify stub PCs (profiler VM-dispatch
+// attribution). With no stubs the label lands on the unit's end address.
+const stubsLabel = "__stubs"
+
 func (t *translator) flushStubs() {
+	t.a.Label(stubsLabel)
 	for i := range t.newTraps {
 		p := &t.newTraps[i]
 		if p.meta.vec != vecChain || p.patchLabel == "" {

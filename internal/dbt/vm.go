@@ -274,6 +274,21 @@ func (vm *VM) ResolvePC(k isa.Kind, pc uint32) (uint32, bool) {
 	return pc, false
 }
 
+// ResolvePCClass is ResolvePC plus a dispatch classification: stub
+// reports whether pc falls inside a translation unit's deferred trap-stub
+// region — VM dispatch overhead (chain traps awaiting patching) rather
+// than translated guest code. Guest-text PCs are never stubs.
+func (vm *VM) ResolvePCClass(k isa.Kind, pc uint32) (src uint32, stub, ok bool) {
+	if c := vm.caches[k]; c.Contains(pc) {
+		src, ok = c.UnitAt(pc)
+		return src, ok && c.StubAt(pc), ok
+	}
+	if vm.Bin.FuncAt(k, pc) != nil {
+		return pc, false, true
+	}
+	return pc, false, false
+}
+
 // registerTelemetry wires the VM into its registry. The raw Stats / RAT /
 // CodeCache fields stay the canonical (and allocation-free) counters; a
 // collector mirrors them into the registry at snapshot time, so the
@@ -356,6 +371,9 @@ func (vm *VM) mapOf(fn *fatbin.FuncMeta) [2]*psr.Map {
 }
 
 func (vm *VM) flush(k isa.Kind) {
+	sp := vm.tel.StartSpan("dbt", "cache-flush")
+	sp.SetISA(k.String())
+	sp.SetDetail(fmt.Sprintf("%d units evicted", vm.caches[k].NumUnits()))
 	vm.tel.Emit(telemetry.Event{
 		Type: telemetry.EvCacheFlush, ISA: k.String(),
 		Detail: fmt.Sprintf("%d units evicted", vm.caches[k].NumUnits()),
@@ -366,6 +384,7 @@ func (vm *VM) flush(k isa.Kind) {
 	vm.calls[k] = make(map[uint32]callMeta)
 	vm.gen[k]++
 	vm.Stats.Flushes++
+	sp.End()
 }
 
 // unitAlign returns the code cache alignment for new units (machine block
@@ -410,6 +429,8 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 	if fn == nil {
 		return 0, fmt.Errorf("%w: %#x on %s", ErrNotText, src, k)
 	}
+	sp := vm.tel.StartSpan("dbt", "translate")
+	sp.SetISA(k.String())
 	start := time.Now()
 	for attempt := 0; attempt < 2; attempt++ {
 		base := vm.caches[k].NextAddr(vm.unitAlign())
@@ -451,6 +472,9 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 		}
 		vm.caches[k].Commit(vm.P.Mem, src, addr, code)
 		vm.caches[k].AddCovered(t.srcRanges())
+		if stubAddr, ok := labels[stubsLabel]; ok {
+			vm.caches[k].SetStubStart(stubAddr)
+		}
 		vm.Stats.Translations[k]++
 		for _, pt := range t.newTraps {
 			meta := pt.meta
@@ -471,6 +495,11 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 			Detail: fmt.Sprintf("%d bytes", len(code)),
 		})
 		vm.saveScratch(t)
+		if sp.Active() {
+			sp.SetCostUS(us)
+			sp.SetDetail(fmt.Sprintf("src %#x, %d bytes", src, len(code)))
+			sp.End()
+		}
 		return addr, nil
 	}
 	return 0, fmt.Errorf("dbt: unit for %#x exceeds code cache", src)

@@ -35,6 +35,20 @@ func runCell(fn func(int) error, i int) (err error) {
 	return fn(i)
 }
 
+// runCellSpanned runs one cell under a child span of the experiment's
+// parent span, so parallel sweeps are visualizable cell by cell. With
+// spans disabled the child is the inert zero Span.
+func (s *Suite) runCellSpanned(fn func(int) error, i int) error {
+	sp := s.expSpan.StartChild("cell")
+	sp.SetDetail(fmt.Sprintf("cell %d", i))
+	err := runCell(fn, i)
+	if err != nil {
+		sp.SetDetail(fmt.Sprintf("cell %d: failed", i))
+	}
+	sp.End()
+	return err
+}
+
 // forEach runs fn(0..n-1) on a bounded worker pool. Cells must be
 // independent and deterministic given their index; callers collect results
 // by index and print after forEach returns, so output never depends on
@@ -54,7 +68,7 @@ func (s *Suite) forEach(ctx context.Context, n int, fn func(i int) error) error 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := runCell(fn, i); err != nil {
+			if err := s.runCellSpanned(fn, i); err != nil {
 				return err
 			}
 		}
@@ -70,7 +84,7 @@ func (s *Suite) forEach(ctx context.Context, n int, fn func(i int) error) error 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if err := runCell(fn, i); err != nil {
+				if err := s.runCellSpanned(fn, i); err != nil {
 					errs[i] = err
 					cancel()
 				}
@@ -135,7 +149,15 @@ func Run(ctx context.Context, s *Suite, exps []Experiment, opts Options) ([]Resu
 			return results, err
 		}
 		start := time.Now()
+		if tel != nil {
+			s.expSpan = tel.StartSpan("experiments", e.Name())
+		}
 		rows, err := runExperiment(ctx, e, s)
+		if err != nil {
+			s.expSpan.SetDetail(err.Error())
+		}
+		s.expSpan.End()
+		s.expSpan = telemetry.Span{}
 		secs := time.Since(start).Seconds()
 		if err != nil {
 			tel.Counter("bench.experiments.failed").Inc()

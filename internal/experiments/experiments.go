@@ -41,6 +41,12 @@ type Suite struct {
 	mu          sync.Mutex
 	bins        map[string]*binEntry
 	entropyBits float64 // measured PSR entropy (set by Table2, read by Fig7)
+
+	// expSpan is the currently running experiment's parent span; cell
+	// spans in forEach attach under it. Set by the engine before an
+	// experiment starts (experiments run sequentially), read by cell
+	// workers, so no lock is needed.
+	expSpan telemetry.Span
 }
 
 // NewSuite returns a Suite over the full benchmark set.

@@ -12,6 +12,7 @@ import (
 
 	"hipstr/internal/isa"
 	"hipstr/internal/mem"
+	"hipstr/internal/telemetry"
 )
 
 // MaxInstLen is the widest fetch window needed to decode one instruction.
@@ -135,6 +136,11 @@ type Machine struct {
 	// survive those — correctness is guaranteed by the code generation,
 	// not by State identity.
 	blocks blockCache
+
+	// Spans, when non-nil, records block-cache invalidation storms as
+	// spans on the "machine" track. Reconciles that evict nothing (the
+	// common case under DBT translation churn) record nothing.
+	Spans *telemetry.SpanTracer
 }
 
 // New returns a machine for ISA k over memory m.
@@ -267,7 +273,7 @@ func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 	bc := &m.blocks
 	for !m.Halted && m.Steps-start < maxSteps {
 		if g := m.Mem.CodeGen(); g != bc.gen {
-			bc.reconcile(m.Mem, g)
+			m.reconcileSpanned(bc, g)
 		}
 		blk := bc.lookup(m.ISA, m.PC)
 		if blk == nil {
@@ -300,7 +306,7 @@ func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 				// otherwise re-decode from the new PC. A control transfer
 				// is always a block terminator, so m.ISA still names the
 				// block's ISA here.
-				bc.reconcile(m.Mem, g)
+				m.reconcileSpanned(bc, g)
 				if !bc.alive(m.ISA, startPC, blk) {
 					break
 				}
@@ -308,6 +314,28 @@ func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 		}
 	}
 	return m.Steps - start, nil
+}
+
+// reconcileSpanned reconciles the block cache with code generation g,
+// recording a span on the "machine" track when the reconcile evicted
+// decoded blocks (an invalidation storm). Spans that would describe a
+// no-op reconcile are abandoned un-ended, which records nothing.
+func (m *Machine) reconcileSpanned(bc *blockCache, g uint64) {
+	if m.Spans == nil {
+		bc.reconcile(m.Mem, g)
+		return
+	}
+	before := bc.evicted
+	fullBefore := bc.fullInvals
+	sp := m.Spans.StartSpan("machine", "invalidate")
+	bc.reconcile(m.Mem, g)
+	dropped := bc.evicted - before
+	if dropped == 0 && bc.fullInvals == fullBefore {
+		return
+	}
+	sp.SetISA(m.ISA.String())
+	sp.SetDetail(fmt.Sprintf("%d blocks evicted", dropped))
+	sp.End()
 }
 
 func (m *Machine) exec(in *isa.Inst) error {

@@ -64,8 +64,9 @@ type Engine struct {
 	// DebugLastErr records why the most recent attempt was refused.
 	DebugLastErr error
 
-	tel      *telemetry.Telemetry
-	histCost [2]*telemetry.Histogram // per target ISA
+	tel       *telemetry.Telemetry
+	histCost  [2]*telemetry.Histogram // per target ISA
+	histPhase [NumPhases]*telemetry.Histogram
 }
 
 // New returns a migration engine with the default policy.
@@ -82,6 +83,9 @@ func (e *Engine) BindTelemetry(t *telemetry.Telemetry) {
 	r := t.Reg
 	for _, k := range isa.Kinds {
 		e.histCost[k] = r.Histogram("migrate.cost_us.to_" + k.String())
+	}
+	for i, name := range PhaseNames {
+		e.histPhase[i] = r.Histogram("migrate.phase." + name)
 	}
 	r.RegisterCollector(func() {
 		r.Counter("migrate.attempts").Set(e.Stats.Attempts)
@@ -111,11 +115,18 @@ func (e *Engine) Migrate(vm *dbt.VM, resumeSrc uint32, boundary bool) bool {
 	e.tel.Emit(telemetry.Event{
 		Type: telemetry.EvMigrateBegin, ISA: vm.Active().String(), Addr: resumeSrc,
 	})
-	if err := e.migrateResume(vm, resumeSrc, boundary); err != nil {
+	sp := e.tel.StartSpan("migrate", "migrate")
+	sp.SetISA(vm.Active().String())
+	if err := e.migrateResume(vm, resumeSrc, boundary, sp); err != nil {
+		sp.SetDetail(err.Error())
+		sp.End()
 		e.refused(err)
 		return false
 	}
 	e.Stats.Migrations++
+	sp.SetISA(vm.Active().String())
+	sp.SetCostUS(e.Stats.LastCostMicros)
+	sp.End()
 	e.completed(vm, resumeSrc)
 	return true
 }
@@ -128,11 +139,19 @@ func (e *Engine) MigrateEntry(vm *dbt.VM, calleeEntry uint32) bool {
 		Type: telemetry.EvMigrateBegin, ISA: vm.Active().String(), Addr: calleeEntry,
 		Detail: "callee-entry",
 	})
-	if err := e.migrateEntry(vm, calleeEntry); err != nil {
+	sp := e.tel.StartSpan("migrate", "migrate")
+	sp.SetISA(vm.Active().String())
+	sp.SetDetail("callee-entry")
+	if err := e.migrateEntry(vm, calleeEntry, sp); err != nil {
+		sp.SetDetail(err.Error())
+		sp.End()
 		e.refused(err)
 		return false
 	}
 	e.Stats.Migrations++
+	sp.SetISA(vm.Active().String())
+	sp.SetCostUS(e.Stats.LastCostMicros)
+	sp.End()
 	e.completed(vm, calleeEntry)
 	return true
 }
@@ -150,11 +169,14 @@ func (e *Engine) completed(vm *dbt.VM, addr uint32) {
 	})
 }
 
-func (e *Engine) migrateResume(vm *dbt.VM, resumeSrc uint32, boundary bool) error {
+func (e *Engine) migrateResume(vm *dbt.VM, resumeSrc uint32, boundary bool, parent telemetry.Span) error {
 	a := vm.Active()
 	b := a.Other()
 	m := vm.P.M
 
+	// Child spans on error paths are abandoned un-ended (never recorded);
+	// the parent span carries the refusal detail instead.
+	child := parent.StartChild(PhaseNames[PhaseSafepointWait])
 	fn, blk := vm.Bin.BlockAt(a, resumeSrc)
 	if fn == nil || blk == nil {
 		return fmt.Errorf("%w: resume %#x outside known blocks", ErrUnsafe, resumeSrc)
@@ -172,11 +194,17 @@ func (e *Engine) migrateResume(vm *dbt.VM, resumeSrc uint32, boundary bool) erro
 		}
 		resumeB = cs.RetAddr[b]
 	}
+	child.End()
 
+	child = parent.StartChild(PhaseNames[PhaseRatRebuild])
 	frames, err := e.walk(vm, a, fn, blk, m.SP())
 	if err != nil {
 		return err
 	}
+	child.SetCostUS(CostPhases(b, len(frames), 0)[PhaseRatRebuild])
+	child.End()
+
+	child = parent.StartChild(PhaseNames[PhaseTransform])
 	regs0, err := e.sourceRegs(vm, a, frames[0], boundary)
 	if err != nil {
 		return err
@@ -195,25 +223,35 @@ func (e *Engine) migrateResume(vm *dbt.VM, resumeSrc uint32, boundary bool) erro
 	m.SetSP(sp)
 	m.Regs[retRegOf(b)] = retVal
 	m.Flags = machine.Flags{}
+	child.SetCostUS(CostPhases(b, 0, objects)[PhaseTransform])
+	child.End()
 
+	child = parent.StartChild(PhaseNames[PhaseRetranslate])
 	cacheAddr, err := vm.EnsureTranslated(b, resumeB)
 	if err != nil {
 		return err
 	}
+	child.SetCostUS(CostPhases(b, 0, 0)[PhaseRetranslate])
+	child.End()
+
+	child = parent.StartChild(PhaseNames[PhaseResume])
 	// Freshly translated continuations expect relocated register state.
 	if err := vm.ApplyReRelocate(vm.MapOf(frames[0].fn)[b]); err != nil {
 		return err
 	}
 	m.PC = cacheAddr
 	e.account(b, len(frames), objects)
+	child.SetCostUS(CostPhases(b, 0, 0)[PhaseResume])
+	child.End()
 	return nil
 }
 
-func (e *Engine) migrateEntry(vm *dbt.VM, calleeEntry uint32) error {
+func (e *Engine) migrateEntry(vm *dbt.VM, calleeEntry uint32, parent telemetry.Span) error {
 	a := vm.Active()
 	b := a.Other()
 	m := vm.P.M
 
+	child := parent.StartChild(PhaseNames[PhaseSafepointWait])
 	callee := vm.Bin.FuncAt(a, calleeEntry)
 	if callee == nil || callee.Entry[a] != calleeEntry {
 		return fmt.Errorf("%w: %#x is not a function entry", ErrUnsafe, calleeEntry)
@@ -251,17 +289,22 @@ func (e *Engine) migrateEntry(vm *dbt.VM, calleeEntry uint32) error {
 			return fmt.Errorf("%w: call site without block", ErrUnsafe)
 		}
 	}
+	child.End()
 
 	var frames []frame
 	var regs0 [16]uint32
 	objects := 0
 	var regsB [16]uint32
 	if caller != nil {
+		child = parent.StartChild(PhaseNames[PhaseRatRebuild])
 		var err error
 		frames, err = e.walk(vm, a, caller, callerBlk, callerBase)
 		if err != nil {
 			return err
 		}
+		child.SetCostUS(CostPhases(b, len(frames)+1, 0)[PhaseRatRebuild])
+		child.End()
+		child = parent.StartChild(PhaseNames[PhaseTransform])
 		// Indirect calls marshal to the boundary convention before
 		// trapping, so register state is physical.
 		copy(regs0[:], m.Regs[:])
@@ -270,6 +313,10 @@ func (e *Engine) migrateEntry(vm *dbt.VM, calleeEntry uint32) error {
 			return err
 		}
 	} else {
+		child = parent.StartChild(PhaseNames[PhaseRatRebuild])
+		child.SetCostUS(CostPhases(b, 1, 0)[PhaseRatRebuild])
+		child.End()
+		child = parent.StartChild(PhaseNames[PhaseTransform])
 		copy(regs0[:], m.Regs[:])
 	}
 
@@ -302,14 +349,24 @@ func (e *Engine) migrateEntry(vm *dbt.VM, calleeEntry uint32) error {
 		m.SetSP(callerBase)
 		m.Regs[isa.LR] = srcRetB
 	}
+	child.SetCostUS(CostPhases(b, 0, objects)[PhaseTransform])
+	child.End()
+
+	child = parent.StartChild(PhaseNames[PhaseRetranslate])
 	cacheAddr, err := vm.EnsureTranslated(b, callee.Entry[b])
 	if err != nil {
 		return err
 	}
+	child.SetCostUS(CostPhases(b, 0, 0)[PhaseRetranslate])
+	child.End()
+
+	child = parent.StartChild(PhaseNames[PhaseResume])
 	// Callee entries expect the boundary (physical) convention; the
 	// translated prologue re-relocates.
 	m.PC = cacheAddr
 	e.account(b, len(frames)+1, objects)
+	child.SetCostUS(CostPhases(b, 0, 0)[PhaseResume])
+	child.End()
 	return nil
 }
 
@@ -516,6 +573,12 @@ func (e *Engine) account(target isa.Kind, frames, objects int) {
 	if e.histCost[target] != nil {
 		e.histCost[target].Observe(c)
 	}
+	if e.histPhase[0] != nil {
+		phases := CostPhases(target, frames, objects)
+		for i, v := range phases {
+			e.histPhase[i].Observe(v)
+		}
+	}
 }
 
 func retRegOf(k isa.Kind) isa.Reg {
@@ -539,12 +602,63 @@ const (
 	perObjectMicrosARM = 1.3
 )
 
-// CostMicros models the one-way migration cost toward the target ISA.
-func CostMicros(target isa.Kind, frames, objects int) float64 {
+// Migration phases, in execution order. These name both the child spans
+// under a migration's parent span and the `migrate.phase.<name>`
+// histogram series the cost model is decomposed into.
+const (
+	PhaseSafepointWait = iota // resolving the resume point to an equivalence point
+	PhaseRatRebuild           // stack walk + cross-ISA return-address rewrite
+	PhaseTransform            // register/stack state transform between relocation maps
+	PhaseRetranslate          // ensuring the target-ISA continuation is translated
+	PhaseResume               // installing registers/PC and re-relocating
+	NumPhases
+)
+
+// PhaseNames maps phase indices to their span/series names.
+var PhaseNames = [NumPhases]string{
+	"safepoint-wait", "rat-rebuild", "transform", "retranslate", "resume",
+}
+
+// The fixed base cost splits across the infrastructure phases: most of it
+// is translating the target-ISA continuation, the rest is split between
+// the return-address-table/stack-walk machinery and the resume/relocation
+// bookkeeping. Safe-point resolution is lookup-table work and carries no
+// modeled cost of its own.
+const (
+	baseShareRatRebuild = 0.20
+	baseShareRetrans    = 0.55
+	baseShareResume     = 0.25
+)
+
+// CostPhases decomposes the migration cost model by phase. The phases sum
+// to CostMicros exactly: the base cost splits over rat-rebuild /
+// retranslate / resume by the fixed shares above, per-frame work bills to
+// rat-rebuild, and per-object work bills to transform.
+func CostPhases(target isa.Kind, frames, objects int) [NumPhases]float64 {
+	base, perFrame, perObject := baseCostMicrosARM, perFrameMicrosARM, perObjectMicrosARM
 	if target == isa.X86 {
-		return baseCostMicrosX86 + perFrameMicrosX86*float64(frames) + perObjectMicrosX86*float64(objects)
+		base, perFrame, perObject = baseCostMicrosX86, perFrameMicrosX86, perObjectMicrosX86
 	}
-	return baseCostMicrosARM + perFrameMicrosARM*float64(frames) + perObjectMicrosARM*float64(objects)
+	var p [NumPhases]float64
+	p[PhaseSafepointWait] = 0
+	p[PhaseRatRebuild] = baseShareRatRebuild*base + perFrame*float64(frames)
+	p[PhaseTransform] = perObject * float64(objects)
+	p[PhaseRetranslate] = baseShareRetrans * base
+	p[PhaseResume] = baseShareResume * base
+	return p
+}
+
+// CostMicros models the one-way migration cost toward the target ISA. It
+// is defined as the sum of its phase decomposition so the
+// `migrate.phase.*` series always account for the full `migrate.cost_us`
+// total.
+func CostMicros(target isa.Kind, frames, objects int) float64 {
+	p := CostPhases(target, frames, objects)
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	return sum
 }
 
 // SafetyReport classifies every block of a binary by migration safety in

@@ -34,13 +34,24 @@ type Options struct {
 	// Tracer, when set, feeds /events subscribers (its buffered ring is
 	// replayed as backlog on connect).
 	Tracer *telemetry.Tracer
+	// Spans, when set, serves the bounded span ring at /timeline as
+	// Chrome trace-event JSON (loadable in ui.perfetto.dev).
+	Spans *telemetry.SpanTracer
 	// Profile supplies the live profiler report for /profile.
 	Profile func() (profiler.Report, bool)
 	// Health, when set, contributes a detail line to /healthz.
 	Health func() string
 	// SSEBuffer overrides the per-subscriber ring capacity (tests).
 	SSEBuffer int
+	// SSEKeepalive overrides the idle-stream keepalive interval for
+	// /events (0 selects DefaultSSEKeepalive, negative disables).
+	SSEKeepalive time.Duration
 }
+
+// DefaultSSEKeepalive is how often an idle /events stream emits a
+// ": keepalive" comment so proxies and test clients don't time out
+// half-open connections.
+const DefaultSSEKeepalive = 15 * time.Second
 
 // Server serves the observability endpoints on one listener.
 type Server struct {
@@ -68,6 +79,7 @@ func NewHandler(o Options) (http.Handler, *EventHub) {
 			"/metrics      Prometheus exposition\n"+
 			"/stats.json   full telemetry snapshot\n"+
 			"/events       live trace stream (SSE)\n"+
+			"/timeline     span ring as Chrome trace JSON (ui.perfetto.dev)\n"+
 			"/profile      sampling profiler (?format=folded|top|json, ?n=N)\n"+
 			"/healthz      liveness\n"+
 			"/debug/pprof  simulator self-profiling\n")
@@ -121,7 +133,19 @@ func NewHandler(o Options) (http.Handler, *EventHub) {
 		}
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		serveSSE(w, r, o.Tracer, hub)
+		serveSSE(w, r, o.Tracer, hub, o.SSEKeepalive)
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if o.Spans == nil {
+			http.Error(w, "span tracing not enabled (run with -timeline-out)", http.StatusNotFound)
+			return
+		}
+		var events []telemetry.Event
+		if o.Tracer != nil && r.URL.Query().Get("events") == "1" {
+			events = o.Tracer.Events()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		telemetry.WriteChromeTrace(w, o.Spans.Spans(), events)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -141,8 +165,9 @@ func latest(o Options) (telemetry.Snapshot, bool) {
 // serveSSE streams trace events: the tracer's buffered ring as backlog,
 // then live events until the client disconnects. Frames carry the event
 // sequence number as the SSE id; dropped events surface as comment lines
-// so consumers can detect gaps.
-func serveSSE(w http.ResponseWriter, r *http.Request, tr *telemetry.Tracer, hub *EventHub) {
+// so consumers can detect gaps, and idle streams emit periodic
+// ": keepalive" comments so half-open connections don't time out.
+func serveSSE(w http.ResponseWriter, r *http.Request, tr *telemetry.Tracer, hub *EventHub, keepalive time.Duration) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -158,6 +183,15 @@ func serveSSE(w http.ResponseWriter, r *http.Request, tr *telemetry.Tracer, hub 
 	}
 	sub := hub.Subscribe()
 	defer hub.Unsubscribe(sub)
+	if keepalive == 0 {
+		keepalive = DefaultSSEKeepalive
+	}
+	var tick <-chan time.Time
+	if keepalive > 0 {
+		t := time.NewTicker(keepalive)
+		defer t.Stop()
+		tick = t.C
+	}
 	// Backlog: subscribe first, then replay the ring, skipping any overlap
 	// delivered through the subscription while we replayed.
 	var lastSeq uint64
@@ -189,6 +223,11 @@ func serveSSE(w http.ResponseWriter, r *http.Request, tr *telemetry.Tracer, hub 
 		case <-r.Context().Done():
 			return
 		case <-sub.Notify():
+		case <-tick:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		}
 	}
 }

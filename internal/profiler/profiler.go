@@ -46,11 +46,18 @@ const DefaultInterval = 64
 // caches). It reports false when the PC belongs to no guest code.
 type Resolver func(k isa.Kind, pc uint32) (uint32, bool)
 
+// ClassResolver additionally classifies the PC: stub reports that it
+// falls inside a translation unit's trap-stub region, i.e. the sample
+// caught VM-dispatch overhead rather than translated guest code
+// (dbt.VM.ResolvePCClass).
+type ClassResolver func(k isa.Kind, pc uint32) (src uint32, stub, ok bool)
+
 // blockKey aggregates samples per guest basic block.
 type blockKey struct {
-	k  isa.Kind
-	fn int32 // index into bin.Funcs; -1 = unsymbolized
-	bb int32 // BlockMeta.ID within the function; -1 = unknown block
+	k    isa.Kind
+	fn   int32 // index into bin.Funcs; -1 = unsymbolized
+	bb   int32 // BlockMeta.ID within the function; -1 = unknown block
+	stub bool  // sample hit a trap stub (VM dispatch overhead)
 }
 
 // phaseKey aggregates traced phase costs (translate) per guest function.
@@ -74,6 +81,7 @@ type Profiler struct {
 	last     float64
 	bin      *fatbin.Binary
 	resolve  Resolver
+	resolveC ClassResolver
 
 	mu        sync.Mutex
 	buckets   map[blockKey]*agg
@@ -107,6 +115,11 @@ func (p *Profiler) Interval() uint64 { return p.interval }
 // drivers wire dbt.VM.ResolvePC; native execution needs none (text PCs
 // symbolize directly).
 func (p *Profiler) SetResolver(r Resolver) { p.resolve = r }
+
+// SetClassResolver installs a classifying resolver (dbt.VM.ResolvePCClass)
+// that splits sampled cycles between translated guest code and VM
+// dispatch overhead (trap stubs). It takes precedence over SetResolver.
+func (p *Profiler) SetClassResolver(r ClassResolver) { p.resolveC = r }
 
 // BindModel attributes the timing model's simulated cycles instead of raw
 // instruction counts. Attach the model to the machine *before* the
@@ -186,11 +199,13 @@ func (p *Profiler) sample(k isa.Kind, pc uint32) {
 	n := p.pending
 	p.pending = 0
 
-	src, ok := pc, true
-	if p.resolve != nil {
+	src, stub, ok := pc, false, true
+	if p.resolveC != nil {
+		src, stub, ok = p.resolveC(k, pc)
+	} else if p.resolve != nil {
 		src, ok = p.resolve(k, pc)
 	}
-	key := blockKey{k: k, fn: -1, bb: -1}
+	key := blockKey{k: k, fn: -1, bb: -1, stub: stub}
 	if ok && p.bin != nil {
 		if fn, blk := p.bin.BlockAt(k, src); fn != nil {
 			key.fn = int32(fn.Index)
@@ -274,12 +289,16 @@ func kindOf(s string) (isa.Kind, bool) {
 
 // BlockProfile is one guest basic block's sampled cost.
 type BlockProfile struct {
-	ISA     string  `json:"isa"`
-	Func    string  `json:"func"`
-	Block   int     `json:"block"` // BlockMeta.ID; -1 = unknown
-	Addr    uint32  `json:"addr"`  // guest block start (0 when unknown)
-	Cycles  float64 `json:"cycles"`
-	Samples uint64  `json:"samples"`
+	ISA   string `json:"isa"`
+	Func  string `json:"func"`
+	Block int    `json:"block"` // BlockMeta.ID; -1 = unknown
+	Addr  uint32 `json:"addr"`  // guest block start (0 when unknown)
+	// Dispatch marks cycles sampled inside trap stubs: VM dispatch
+	// overhead attributed to the unit's guest block rather than the
+	// block's own translated code.
+	Dispatch bool    `json:"dispatch,omitempty"`
+	Cycles   float64 `json:"cycles"`
+	Samples  uint64  `json:"samples"`
 }
 
 // FuncProfile is one guest function's sampled cost across both ISAs.
@@ -339,11 +358,12 @@ func (p *Profiler) Report() Report {
 	for key, a := range p.buckets {
 		name := p.funcName(key.fn)
 		bp := BlockProfile{
-			ISA:     key.k.String(),
-			Func:    name,
-			Block:   int(key.bb),
-			Cycles:  a.cost,
-			Samples: a.samples,
+			ISA:      key.k.String(),
+			Func:     name,
+			Block:    int(key.bb),
+			Dispatch: key.stub,
+			Cycles:   a.cost,
+			Samples:  a.samples,
 		}
 		if key.fn >= 0 && key.bb >= 0 {
 			if bm := p.bin.Funcs[key.fn].BlockByID(int(key.bb)); bm != nil {
@@ -382,7 +402,10 @@ func (p *Profiler) Report() Report {
 		if a.ISA != b.ISA {
 			return a.ISA < b.ISA
 		}
-		return a.Block < b.Block
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return !a.Dispatch && b.Dispatch
 	})
 	for key, a := range p.translate {
 		r.Phases = append(r.Phases, PhaseCost{
@@ -421,10 +444,11 @@ func foldedWeight(cost float64, count uint64) uint64 {
 // WriteFolded writes flamegraph folded stacks, one per aggregate, in the
 // same "frame;frame;... weight" format cmd/tracestat -folded emits, sorted
 // by stack name for deterministic output. Sampled guest cycles appear
-// under the "interpret" phase as interpret;<func>;<isa>;block<N>; traced
-// translation and migration costs (whose weights are microseconds, the
-// tracer's native unit for those events) appear under "translate" and
-// "migrate".
+// under the "interpret" phase as interpret;<func>;<isa>;block<N>, except
+// cycles sampled inside trap stubs, which appear under "vm-dispatch" with
+// the same sub-stack; traced translation and migration costs (whose
+// weights are microseconds, the tracer's native unit for those events)
+// appear under "translate" and "migrate".
 func (r Report) WriteFolded(w io.Writer) error {
 	lines := make([]string, 0, len(r.Blocks)+len(r.Phases))
 	for _, b := range r.Blocks {
@@ -432,8 +456,12 @@ func (r Report) WriteFolded(w io.Writer) error {
 		if b.Block < 0 {
 			blk = "block?"
 		}
-		lines = append(lines, fmt.Sprintf("interpret;%s;%s;%s %d",
-			b.Func, b.ISA, blk, foldedWeight(b.Cycles, b.Samples)))
+		phase := "interpret"
+		if b.Dispatch {
+			phase = "vm-dispatch"
+		}
+		lines = append(lines, fmt.Sprintf("%s;%s;%s;%s %d",
+			phase, b.Func, b.ISA, blk, foldedWeight(b.Cycles, b.Samples)))
 	}
 	for _, ph := range r.Phases {
 		fn := ph.Func

@@ -63,10 +63,12 @@ func promFloat(v float64) string {
 
 // WriteProm writes the snapshot in the Prometheus text exposition format
 // (version 0.0.4, scrapeable by Prometheus and OpenMetrics collectors).
-// Output is byte-stable for a given snapshot: counters, then gauges, then
-// histograms, each family sorted by name. The log2 histograms export
-// cumulative `le` buckets (upper bounds are exact powers of two) plus the
-// conventional +Inf bucket, _sum, and _count series.
+// Output is byte-stable for a given snapshot and histogram schema
+// version (HistSchemaVersion): counters, then gauges, then histograms,
+// each family sorted by name. The sketch histograms export cumulative
+// `le` buckets (upper bounds are powers of the sketch base, 1.02 at
+// schema version 2) plus the conventional +Inf bucket, _sum, and _count
+// series.
 func (s Snapshot) WriteProm(w io.Writer) error {
 	names := make([]string, 0, len(s.Counters))
 	for name := range s.Counters {

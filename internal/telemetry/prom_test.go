@@ -7,17 +7,22 @@ import (
 
 // TestWritePromByteStable pins the exposition output of a fixed registry:
 // family order (counters, gauges, histograms), lexical name order within a
-// family, name sanitization, and cumulative le buckets.
+// family, name sanitization, and cumulative le buckets. The pinned bucket
+// bounds are specific to histogram schema version 2 (base-1.02 sketch);
+// a schema bump must update this golden output.
 func TestWritePromByteStable(t *testing.T) {
+	if HistSchemaVersion != 2 {
+		t.Fatalf("golden output below pins schema version 2, registry reports %d", HistSchemaVersion)
+	}
 	r := NewRegistry()
 	r.Counter("dbt.translations.x86").Add(7)
 	r.Counter("dbt.translations.arm").Add(3)
 	r.Gauge("dbt.cache.x86.occupancy").Set(0.25)
 	h := r.Histogram("dbt.translate.latency_us.x86")
+	h.Observe(1)   // bucket le=1 (1.02^0, exact)
 	h.Observe(1)   // bucket le=1
-	h.Observe(1)   // bucket le=1
-	h.Observe(3)   // bucket le=4
-	h.Observe(100) // bucket le=128
+	h.Observe(3)   // bucket le=1.02^56 ~ 3.03
+	h.Observe(100) // bucket le=1.02^233 ~ 100.89
 
 	want := strings.Join([]string{
 		"# TYPE dbt_translations_arm counter",
@@ -28,8 +33,8 @@ func TestWritePromByteStable(t *testing.T) {
 		"dbt_cache_x86_occupancy 0.25",
 		"# TYPE dbt_translate_latency_us_x86 histogram",
 		`dbt_translate_latency_us_x86_bucket{le="1"} 2`,
-		`dbt_translate_latency_us_x86_bucket{le="4"} 3`,
-		`dbt_translate_latency_us_x86_bucket{le="128"} 4`,
+		`dbt_translate_latency_us_x86_bucket{le="3.0311652864835517"} 3`,
+		`dbt_translate_latency_us_x86_bucket{le="100.88811797408722"} 4`,
 		`dbt_translate_latency_us_x86_bucket{le="+Inf"} 4`,
 		"dbt_translate_latency_us_x86_sum 105",
 		"dbt_translate_latency_us_x86_count 4",

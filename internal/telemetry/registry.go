@@ -59,17 +59,32 @@ func (g *Gauge) Add(d float64) {
 // Value returns the current gauge reading.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Histogram bucketing: bucket i holds observations v with
-// upperBound(i-1) < v <= upperBound(i), where upperBound(i) = 2^(i-histZero).
-// With histZero = 16 and 64 buckets the covered range is ~1.5e-5 .. 1.4e14,
-// ample for microsecond latencies through cycle counts. Observations at or
-// below zero land in bucket 0.
+// Histogram bucketing: a fixed-precision log sketch. Bucket i holds
+// observations v with upperBound(i-1) < v <= upperBound(i), where
+// upperBound(i) = histBase^(i-histZero). With base 1.02 every reported
+// bucket bound is within 2% of any observation it covers, so tail
+// quantiles (migration-cost p99 and worse) come out sharp instead of
+// rounded to the nearest power of two. With histZero = 640 and 2048
+// buckets the covered range is ~3.1e-6 .. 1.3e12, ample for microsecond
+// latencies through cycle counts; observations outside it clamp to the
+// extreme buckets, and observations at or below zero land in bucket 0.
 const (
-	histBuckets = 64
-	histZero    = 16
+	histBase    = 1.02
+	histBuckets = 2048
+	histZero    = 640
 )
 
-// Histogram is a log2-bucketed distribution with atomic updates.
+// HistSchemaVersion identifies the histogram bucket layout; consumers
+// that pin WriteProm output byte-for-byte should key their golden data
+// on it. Version 1 was log2 buckets (64 buckets, zero offset 16);
+// version 2 is the fixed-precision base-1.02 sketch.
+const HistSchemaVersion = 2
+
+// histInvLogBase converts a natural log into a base-histBase log.
+var histInvLogBase = 1 / math.Log(histBase)
+
+// Histogram is a fixed-precision log-bucketed distribution (a base-1.02
+// sketch) with atomic updates.
 type Histogram struct {
 	count   atomic.Uint64
 	sumBits atomic.Uint64
@@ -82,11 +97,7 @@ func bucketOf(v float64) int {
 	if v <= 0 {
 		return 0
 	}
-	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
-	if frac == 0.5 {
-		exp--
-	}
-	idx := exp + histZero
+	idx := histZero + int(math.Ceil(math.Log(v)*histInvLogBase))
 	if idx < 0 {
 		return 0
 	}
@@ -97,7 +108,7 @@ func bucketOf(v float64) int {
 }
 
 // BucketUpperBound returns the inclusive upper bound of bucket i.
-func BucketUpperBound(i int) float64 { return math.Ldexp(1, i-histZero) }
+func BucketUpperBound(i int) float64 { return math.Pow(histBase, float64(i-histZero)) }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {

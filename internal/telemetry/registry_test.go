@@ -49,12 +49,21 @@ func TestHistogramBuckets(t *testing.T) {
 	if n != 6 {
 		t.Fatalf("bucket counts sum to %d, want 6", n)
 	}
-	// Exact powers of two land in the bucket they bound: ub(1) covers 1.
+	// The sketch base anchors bucket zero offset at 1: ub(bucketOf(1)) is
+	// exactly 1, and anything above it lands one bucket up (ub 1.02).
 	if got := bucketOf(1); BucketUpperBound(got) != 1 {
 		t.Fatalf("bucketOf(1) -> ub %v, want 1", BucketUpperBound(got))
 	}
-	if got := bucketOf(1.01); BucketUpperBound(got) != 2 {
-		t.Fatalf("bucketOf(1.01) -> ub %v, want 2", BucketUpperBound(got))
+	if got := bucketOf(1.01); BucketUpperBound(got) != histBase {
+		t.Fatalf("bucketOf(1.01) -> ub %v, want %v", BucketUpperBound(got), histBase)
+	}
+	// Fixed precision: every reported bound is within one sketch base
+	// factor (2%) of the observation it covers.
+	for _, v := range []float64{0.0007, 3, 97.5, 1e6} {
+		ub := BucketUpperBound(bucketOf(v))
+		if ub < v || ub > v*histBase*histBase {
+			t.Fatalf("bucketOf(%v) -> ub %v outside (v, v*%v^2]", v, ub, histBase)
+		}
 	}
 	// Quantiles are monotone and bounded by the observed extremes.
 	if q := s.Quantile(1); q != 1000 {

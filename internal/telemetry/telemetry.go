@@ -1,12 +1,16 @@
 package telemetry
 
-// Telemetry bundles one metrics registry with one event tracer — the unit
-// of observability a protected System carries. All methods are nil-safe so
-// uninstrumented construction paths (a bare migrate.Engine in a test, say)
-// need no guards.
+// Telemetry bundles one metrics registry, one event tracer, and one
+// optional span tracer — the unit of observability a protected System
+// carries. All methods are nil-safe so uninstrumented construction paths
+// (a bare migrate.Engine in a test, say) need no guards.
+//
+// Spans is nil by default: span tracing is strictly opt-in (EnableSpans),
+// and instrumented hot paths pay only a nil check when it is off.
 type Telemetry struct {
 	Reg   *Registry
 	Trace *Tracer
+	Spans *SpanTracer
 }
 
 // New returns a fresh registry + tracer pair with the default ring size.
@@ -26,6 +30,27 @@ func (t *Telemetry) PublishSeries(prefix string, points []SeriesPoint) {
 		return
 	}
 	t.Reg.PublishSeries(prefix, points)
+}
+
+// EnableSpans attaches a span tracer with the given ring capacity (<= 0
+// selects DefaultSpanCap) and returns it. Calling it again replaces the
+// tracer. A nil receiver returns nil (which is itself a valid, inert
+// tracer).
+func (t *Telemetry) EnableSpans(capacity int) *SpanTracer {
+	if t == nil {
+		return nil
+	}
+	t.Spans = NewSpanTracer(capacity)
+	return t.Spans
+}
+
+// StartSpan opens a root span on the attached span tracer; with spans
+// disabled (or a nil receiver) it returns the inert zero Span.
+func (t *Telemetry) StartSpan(track, name string) Span {
+	if t == nil || t.Spans == nil {
+		return Span{}
+	}
+	return t.Spans.StartSpan(track, name)
 }
 
 // Emit records a trace event; a nil receiver drops it.
