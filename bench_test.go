@@ -366,6 +366,135 @@ func BenchmarkDBTSteps(b *testing.B) {
 	}
 }
 
+// --- Spawn latency -------------------------------------------------------
+
+// spawnSteps bounds the guest work per spawn: enough to touch the
+// workload's hot working set (so cold spawns pay the translator for it)
+// while keeping steady-state execution from drowning out the spawn cost
+// being measured.
+const spawnSteps = 1_000
+
+// BenchmarkSpawn measures admitting one more guest of an already-running
+// binary. cold boots from scratch with unit sharing disabled (load the
+// image, translate the working set). warm-shared still boots from scratch
+// but installs translations from a pre-populated content-addressed unit
+// cache. warm-fork is the full fast path: fork a booted prototype's
+// snapshot (memory aliased copy-on-write) and serve translations shared.
+func BenchmarkSpawn(b *testing.B) {
+	p, _ := workload.ProfileByName("httpd")
+	bin, err := workload.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := dbt.DefaultConfig()
+	base.MigrateProb = 0
+
+	spawnRun := func(b *testing.B, vm *dbt.VM) {
+		b.Helper()
+		if _, err := vm.Run(spawnSteps); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		cfg := base
+		cfg.NoSharedUnits = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vm, err := dbt.New(bin, isa.X86, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spawnRun(b, vm)
+		}
+	})
+
+	b.Run("warm-shared", func(b *testing.B) {
+		cfg := base
+		cfg.SharedUnits = dbt.NewUnitCache(dbt.DefaultUnitCacheBytes)
+		seed, err := dbt.New(bin, isa.X86, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spawnRun(b, seed) // populate the unit cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vm, err := dbt.New(bin, isa.X86, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spawnRun(b, vm)
+		}
+	})
+
+	b.Run("warm-fork", func(b *testing.B) {
+		cfg := base
+		cfg.SharedUnits = dbt.NewUnitCache(dbt.DefaultUnitCacheBytes)
+		seed, err := dbt.New(bin, isa.X86, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spawnRun(b, seed) // populate the unit cache
+		proto, err := dbt.New(bin, isa.X86, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap := proto.Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vm, err := snap.Fork(dbt.ForkConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			spawnRun(b, vm)
+		}
+	})
+}
+
+// BenchmarkRespawn measures the kill+respawn breach response in isolation
+// (no guest steps): cold-boot pays bin.Load — O(image) — per respawn,
+// from-snapshot forks the prototype's pages copy-on-write and allocates
+// only what the fresh boot state dirties.
+func BenchmarkRespawn(b *testing.B) {
+	p, _ := workload.ProfileByName("httpd")
+	bin, err := workload.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dbt.DefaultConfig()
+	cfg.MigrateProb = 0
+	cfg.SharedUnits = dbt.NewUnitCache(dbt.DefaultUnitCacheBytes)
+
+	b.Run("cold-boot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dbt.New(bin, isa.X86, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("from-snapshot", func(b *testing.B) {
+		proto, err := dbt.New(bin, isa.X86, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := proto.Run(spawnSteps); err != nil { // dirty some state
+			b.Fatal(err)
+		}
+		snap := proto.Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.Respawn(isa.X86, 4242, dbt.ForkConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationRegCacheSize sweeps the global register cache size the

@@ -31,6 +31,7 @@ import (
 func main() {
 	name := flag.String("workload", "libquantum", "benchmark to run")
 	mode := flag.String("mode", "hipstr", "native | psr | hipstr")
+	isaName := flag.String("isa", "x86", "ISA to run on (native) or start on (psr/hipstr): x86 | arm")
 	steps := flag.Uint64("steps", 50_000_000, "instruction budget")
 	seed := flag.Int64("seed", 1, "randomization seed")
 	metricsOut := flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
@@ -71,6 +72,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	startISA, err := parseISA(*isaName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// The profiler is strictly opt-in: without -profile-out or -listen no
 	// hook is attached and the dispatch loop runs untouched.
 	var prof *profiler.Profiler
@@ -86,12 +92,19 @@ func main() {
 
 	switch *mode {
 	case "native":
-		p, err := hipstr.RunNative(bin, hipstr.X86)
+		p, err := hipstr.RunNative(bin, startISA)
 		if err != nil {
 			log.Fatal(err)
 		}
-		model := perf.NewModel(perf.CoreFor(isa.X86))
-		model.BindTelemetry(tel)
+		// One timing model per ISA of the heterogeneous CMP; the core the
+		// process boots on drives the dispatch loop, the sibling registers
+		// its (zero) series so dashboards see both cores.
+		var models [2]*perf.Model
+		for _, k := range isa.Kinds {
+			models[k] = perf.NewModel(perf.CoreFor(k))
+			models[k].BindTelemetry(tel)
+		}
+		model := models[startISA]
 		model.Attach(p.M)
 		if spans != nil {
 			// Guest-cycle span domain: the timing model's cycle counter.
@@ -131,6 +144,7 @@ func main() {
 		}
 	case "psr", "hipstr":
 		cfg := hipstr.Defaults()
+		cfg.StartISA = startISA
 		cfg.DBT.Seed = *seed
 		cfg.DBT.Telemetry = tel
 		if *mode == "psr" {
@@ -168,6 +182,10 @@ func main() {
 				st.Translations[hipstr.X86], st.Translations[hipstr.ARM], st.IndirectDispatch)
 			fmt.Printf("  security events=%d, migrations=%d, kills=%d, flushes=%d\n",
 				st.SecurityEvents, st.Migrations, st.Kills, st.Flushes)
+			fmt.Printf("  shared units: %d hits, %d misses, %d installs, %d bytes saved\n",
+				st.SharedHits, st.SharedMisses, st.SharedInstalls, st.SharedBytesSaved)
+			fmt.Printf("  cow: %d pages still shared, %d pages broken\n",
+				s.VM.P.Mem.SharedPages(), s.VM.P.Mem.CowBroken())
 			rat := s.VM.RATOf(s.Active())
 			fmt.Printf("  RAT: %d lookups, %d misses (active core: %s)\n",
 				rat.Lookups, rat.Misses, s.Active())
@@ -222,7 +240,7 @@ func main() {
 				pump.Publish(snap)
 			}
 			if due {
-				reportLive(*mode, total, snap, snap.Delta(prev))
+				reportLive(*mode, startISA.String(), total, snap, snap.Delta(prev))
 				prev = snap
 				lastReport = total
 			}
@@ -308,19 +326,21 @@ func main() {
 }
 
 // reportLive prints one compact live-stats line from the current snapshot
-// and the delta since the previous report.
-func reportLive(mode string, total uint64, snap, delta hipstr.MetricsSnapshot) {
+// and the delta since the previous report. core names the ISA whose perf
+// series native mode reads (the core the process runs on).
+func reportLive(mode, core string, total uint64, snap, delta hipstr.MetricsSnapshot) {
 	blkHit := ratio(snap.Counters["machine.blockcache.hits"],
 		snap.Counters["machine.blockcache.hits"]+snap.Counters["machine.blockcache.misses"])
 	if mode == "native" {
+		pfx := "perf." + core
 		fmt.Printf("[%12d] cycles=%.3e cpi=%.3f icache-miss=%s dcache-miss=%s bpred-mis=%s blk-hit=%s\n",
 			total,
-			snap.Gauges["perf.x86.cycles"], snap.Gauges["perf.x86.cpi"],
-			ratio(snap.Counters["perf.x86.icache.misses"],
-				snap.Counters["perf.x86.icache.hits"]+snap.Counters["perf.x86.icache.misses"]),
-			ratio(snap.Counters["perf.x86.dcache.misses"],
-				snap.Counters["perf.x86.dcache.hits"]+snap.Counters["perf.x86.dcache.misses"]),
-			ratio(snap.Counters["perf.x86.bpred.mispredicts"], snap.Counters["perf.x86.bpred.lookups"]),
+			snap.Gauges[pfx+".cycles"], snap.Gauges[pfx+".cpi"],
+			ratio(snap.Counters[pfx+".icache.misses"],
+				snap.Counters[pfx+".icache.hits"]+snap.Counters[pfx+".icache.misses"]),
+			ratio(snap.Counters[pfx+".dcache.misses"],
+				snap.Counters[pfx+".dcache.hits"]+snap.Counters[pfx+".dcache.misses"]),
+			ratio(snap.Counters[pfx+".bpred.mispredicts"], snap.Counters[pfx+".bpred.lookups"]),
 			blkHit)
 		return
 	}
@@ -342,6 +362,16 @@ func printBlockStats(bs machine.BlockCacheStats) {
 	fmt.Printf("  block cache: %d blocks, hit=%s, %d invalidations (%d partial, %d full), %d blocks evicted\n",
 		bs.Blocks, ratio(bs.Hits, bs.Hits+bs.Misses),
 		bs.Invalidations, bs.PartialInvalidations, bs.FullInvalidations, bs.BlocksEvicted)
+}
+
+func parseISA(name string) (isa.Kind, error) {
+	switch name {
+	case "x86":
+		return isa.X86, nil
+	case "arm":
+		return isa.ARM, nil
+	}
+	return 0, fmt.Errorf("unknown ISA %q (want x86 or arm)", name)
 }
 
 func ratio(num, den uint64) string {

@@ -144,6 +144,33 @@ type System = core.System
 // Protect boots bin under the configured defense.
 func Protect(bin *Binary, cfg Config) (*System, error) { return core.New(bin, cfg) }
 
+// SystemSnapshot is a frozen copy-on-write image of a protected process:
+// memory, registers, translated code, and PSR layout lineage. Snapshot a
+// booted prototype once, then materialize guests from it with Fork (warm
+// spawn: same translations, O(dirty pages)) or Respawn (kill+respawn with
+// a fresh PSR seed — the paper's §5.3 breach response made cheap).
+//
+//	proto, _ := hipstr.Protect(bin, hipstr.Defaults())
+//	snap := proto.Snapshot()
+//	guest, _ := snap.Fork(hipstr.ForkConfig{})          // warm spawn
+//	fresh, _ := snap.Respawn(newSeed, hipstr.ForkConfig{}) // re-randomized
+type SystemSnapshot = core.Snapshot
+
+// ForkConfig parameterizes one fork of a SystemSnapshot (per-fork
+// telemetry; nil means a private instance).
+type ForkConfig = dbt.ForkConfig
+
+// SharedUnitCacheStats reports the process-wide content-addressed
+// translation cache: how many translations were served from (hits) or
+// published into (installs) the shared cache, and the code bytes whose
+// re-translation hits avoided.
+type SharedUnitCacheStats = dbt.UnitCacheStats
+
+// SharedUnitCache returns stats for the process-wide shared translation
+// cache that every VM consults by default (dbt.Config.NoSharedUnits opts
+// a VM out; dbt.Config.SharedUnits injects a private cache).
+func SharedUnitCache() SharedUnitCacheStats { return dbt.SharedUnits.Stats() }
+
 // Telemetry is the unified observability unit every System carries: a
 // hierarchical metrics registry (counters, gauges, log-bucketed
 // histograms) plus a structured event tracer with pluggable sinks.

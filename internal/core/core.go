@@ -134,6 +134,59 @@ func (s *System) Respawn() error {
 // Respawns reports how many times the process was re-spawned.
 func (s *System) Respawns() int { return s.respawns }
 
+// Snapshot freezes the system's VM state into a shareable image. The
+// system keeps running; forks materialize new Systems from the image at
+// O(dirty pages) instead of booting from scratch. Fleet hosts snapshot one
+// booted prototype per binary and admit tenants via Fork.
+type Snapshot struct {
+	vm  *dbt.VMSnapshot
+	cfg Config
+}
+
+// Snapshot captures the system's current state copy-on-write.
+func (s *System) Snapshot() *Snapshot {
+	return &Snapshot{vm: s.VM.Snapshot(), cfg: s.Cfg}
+}
+
+// assemble wraps a forked VM into a full System: fresh migration engine
+// (its cumulative stats belong to one guest's lifetime) bound to the
+// fork's telemetry, wired as the VM's migrator under the original mode.
+func (sn *Snapshot) assemble(vm *dbt.VM) *System {
+	cfg := sn.cfg
+	cfg.DBT = vm.Cfg
+	sys := &System{Bin: vm.Bin, VM: vm, Cfg: cfg, tel: vm.Telemetry()}
+	if cfg.Mode == ModeHIPStR {
+		sys.Engine = &migrate.Engine{Policy: cfg.Migration}
+		sys.Engine.BindTelemetry(sys.tel)
+		vm.Migrator = sys.Engine
+	}
+	return sys
+}
+
+// Fork materializes a new System continuing exactly where the snapshot was
+// taken: registers, translated code, RAT contents, and relocation maps all
+// carry over (memory aliased copy-on-write). fc.Telemetry defaults to a
+// private instance per fork.
+func (sn *Snapshot) Fork(fc dbt.ForkConfig) (*System, error) {
+	vm, err := sn.vm.Fork(fc)
+	if err != nil {
+		return nil, fmt.Errorf("core: fork: %w", err)
+	}
+	return sn.assemble(vm), nil
+}
+
+// Respawn materializes a fresh guest from the snapshot under a new PSR
+// seed — the §5.3 kill+respawn breach response at O(dirty pages): memory
+// forks copy-on-write from the snapshot while relocation maps and code
+// caches re-randomize from scratch.
+func (sn *Snapshot) Respawn(newSeed int64, fc dbt.ForkConfig) (*System, error) {
+	vm, err := sn.vm.Respawn(sn.cfg.StartISA, newSeed, fc)
+	if err != nil {
+		return nil, fmt.Errorf("core: respawn fork: %w", err)
+	}
+	return sn.assemble(vm), nil
+}
+
 // SecurityEvents reports the number of code-cache-miss security events.
 func (s *System) SecurityEvents() uint64 { return s.VM.Stats.SecurityEvents }
 

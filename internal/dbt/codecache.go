@@ -46,6 +46,11 @@ type CodeCache struct {
 	// with no stubs records its end address, so nothing classifies as
 	// stub.
 	stubStarts []uint32
+	// chain digests the (src, cacheAddr) commit sequence since the last
+	// flush. The translator emits direct jumps to already-warm targets, so
+	// a unit's bytes depend on exactly this sequence; the shared unit
+	// cache folds it into its content-addressed key.
+	chain uint64
 
 	Flushes      int
 	Translations int
@@ -155,6 +160,7 @@ func (c *CodeCache) Commit(m *mem.Memory, src, cacheAddr uint32, code []byte) {
 	c.cacheToSrc[cacheAddr] = src
 	c.units = append(c.units, cacheAddr)
 	c.stubStarts = append(c.stubStarts, cacheAddr+uint32(len(code)))
+	c.chain = foldDigest(foldDigest(c.chain, uint64(src)), uint64(cacheAddr))
 	c.Translations++
 }
 
@@ -236,10 +242,42 @@ func (c *CodeCache) Flush() {
 	c.covered = nil
 	c.units = nil
 	c.stubStarts = nil
+	c.chain = 0
 	c.Flushes++
 	if c.OnFlush != nil {
 		c.OnFlush(c.Base, used)
 	}
+}
+
+// Clone deep-copies the cache's allocation state, maps, and counters.
+// OnFlush is left nil; the owning VM rewires it to its own memory. Fork
+// uses it: the clone describes the same committed bytes, which the forked
+// Memory aliases copy-on-write.
+func (c *CodeCache) Clone() *CodeCache {
+	n := &CodeCache{
+		ISA: c.ISA, Base: c.Base, Size: c.Size, cur: c.cur,
+		srcToCache:      make(map[uint32]uint32, len(c.srcToCache)),
+		cacheToSrc:      make(map[uint32]uint32, len(c.cacheToSrc)),
+		indirectTargets: make(map[uint32]bool, len(c.indirectTargets)),
+		covered:         append([][2]uint32(nil), c.covered...),
+		units:           append([]uint32(nil), c.units...),
+		stubStarts:      append([]uint32(nil), c.stubStarts...),
+		chain:           c.chain,
+		Flushes:         c.Flushes,
+		Translations:    c.Translations,
+		Lookups:         c.Lookups,
+		Hits:            c.Hits,
+	}
+	for k, v := range c.srcToCache {
+		n.srcToCache[k] = v
+	}
+	for k, v := range c.cacheToSrc {
+		n.cacheToSrc[k] = v
+	}
+	for k, v := range c.indirectTargets {
+		n.indirectTargets[k] = v
+	}
+	return n
 }
 
 // RAT is the hardware-maintained Return Address Table (paper §5.1): a
@@ -305,4 +343,21 @@ func (r *RAT) Lookup(srcRet uint32) (uint32, bool) {
 func (r *RAT) Flush() {
 	r.entries = make(map[uint32]uint32, r.size)
 	r.fifo = nil
+}
+
+// Clone deep-copies the table, its FIFO order, and its counters. Forked
+// VMs keep the prototype's entries: cache addresses are identical across
+// a fork (same committed units at the same offsets), so every entry stays
+// valid.
+func (r *RAT) Clone() *RAT {
+	n := &RAT{
+		size:    r.size,
+		entries: make(map[uint32]uint32, len(r.entries)),
+		fifo:    append([]uint32(nil), r.fifo...),
+		Lookups: r.Lookups, Misses: r.Misses, Evictions: r.Evictions,
+	}
+	for k, v := range r.entries {
+		n.entries[k] = v
+	}
+	return n
 }

@@ -1,0 +1,244 @@
+package dbt
+
+import (
+	"sync"
+
+	"hipstr/internal/isa"
+)
+
+// UnitCache is the process-wide content-addressed translation cache: a
+// concurrent map from everything that can influence a translation unit's
+// bytes to the immutable finished unit. In a fleet most guests run the
+// same binaries, so the Nth VM to need a unit installs the shared copy
+// (memcpy + metadata replay) instead of re-running the translator — the
+// dominant cost of spawn, respawn, and cache-churn regimes (PR 4).
+//
+// Correctness rests on the key capturing *all* translation inputs:
+//
+//   - bin: fatbin.Binary.ContentHash — source bytes and symbol table.
+//   - k/src: target ISA and source address of the unit.
+//   - layout: the PSR layout class — randomizer seed, the psr-relevant
+//     config (OptLevel, RandPages), and the VM's map-build digest. The
+//     randomizer is a sequential RNG, so two VMs have identical relocation
+//     maps i-f-f they share a seed AND built their maps in the same order;
+//     the digest folds that order.
+//   - env: code-cache geometry and content — cache size, the unit's base
+//     address (translated code is position-dependent), and the cache's
+//     chain digest (emitChain/emitDirectCall branch straight to targets
+//     that are already warm, so emitted bytes depend on exactly which
+//     units were committed, in order, since the last flush).
+//
+// Hits replay every side effect of a cold translation — map builds (which
+// advance the shared RNG stream), cache-lookup counter deltas, trap/call
+// registration, covered ranges — so a VM that hits is byte- and
+// stats-identical to one that translated. That equivalence is what keeps
+// experiment tables deterministic with a process-global cache shared
+// across concurrently running cells.
+type UnitCache struct {
+	mu      sync.Mutex
+	entries map[unitKey]*unitEntry
+	fifo    []unitKey
+	bytes   uint64
+	cap     uint64
+
+	hits, misses, installs, bytesSaved uint64
+}
+
+// unitKey identifies one translation unit by its full input set.
+type unitKey struct {
+	bin    uint64
+	k      isa.Kind
+	src    uint32
+	layout uint64
+	env    uint64
+}
+
+// unitEntry is one immutable finished translation unit plus everything
+// needed to replay the translator's side effects on install.
+type unitEntry struct {
+	code    []byte
+	stubOff uint32 // deferred trap-stub region start, relative to unit base
+	traps   []unitTrap
+	calls   []unitCall
+	covered [][2]uint32
+	// mapBuilds lists the functions (by symbol-table index) whose
+	// relocation maps the translator built, in order. Installing VMs
+	// replay them so their PSR RNG stream advances exactly as the
+	// publisher's did.
+	mapBuilds []int
+	// lookupDelta/hitDelta are the code-cache Lookup counter effects of
+	// the translator's warm-target probes, replayed for stats parity.
+	lookupDelta, hitDelta uint64
+}
+
+type unitTrap struct {
+	off      uint32 // trap site, relative to unit base
+	patchOff uint32 // patch site, relative to unit base (chain traps)
+	hasPatch bool
+	meta     trapMeta // gen and patchAddr are filled at install time
+}
+
+type unitCall struct {
+	off    uint32
+	srcRet uint32
+}
+
+// DefaultUnitCacheBytes bounds the default shared cache's code bytes.
+const DefaultUnitCacheBytes = 64 << 20
+
+// SharedUnits is the process-wide default cache. Config.SharedUnits
+// overrides it per VM; Config.NoSharedUnits opts a VM out entirely.
+var SharedUnits = NewUnitCache(DefaultUnitCacheBytes)
+
+// NewUnitCache returns an empty cache bounded to capBytes of unit code
+// (oldest entries evict first).
+func NewUnitCache(capBytes uint64) *UnitCache {
+	return &UnitCache{entries: make(map[unitKey]*unitEntry), cap: capBytes}
+}
+
+// UnitCacheStats is a point-in-time snapshot of the cache's counters.
+type UnitCacheStats struct {
+	Hits       uint64 // translations served from the shared cache
+	Misses     uint64 // consultations that found nothing
+	Installs   uint64 // units published into the cache
+	BytesSaved uint64 // code bytes whose re-translation a hit avoided
+	Entries    int
+	Bytes      uint64 // code bytes currently held
+}
+
+// Stats returns the cache's counters.
+func (u *UnitCache) Stats() UnitCacheStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return UnitCacheStats{
+		Hits: u.hits, Misses: u.misses, Installs: u.installs,
+		BytesSaved: u.bytesSaved, Entries: len(u.entries), Bytes: u.bytes,
+	}
+}
+
+// lookup returns the unit for key, counting the hit or miss.
+func (u *UnitCache) lookup(key unitKey) *unitEntry {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	e := u.entries[key]
+	if e == nil {
+		u.misses++
+		return nil
+	}
+	u.hits++
+	u.bytesSaved += uint64(len(e.code))
+	return e
+}
+
+// publish stores a finished unit, evicting oldest entries past capacity.
+// First publisher wins; a racing duplicate (two VMs translating the same
+// unit concurrently) is dropped — entries are interchangeable by
+// construction.
+func (u *UnitCache) publish(key unitKey, e *unitEntry) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if _, dup := u.entries[key]; dup {
+		return
+	}
+	u.entries[key] = e
+	u.fifo = append(u.fifo, key)
+	u.bytes += uint64(len(e.code))
+	u.installs++
+	for u.bytes > u.cap && len(u.fifo) > 0 {
+		old := u.fifo[0]
+		u.fifo = u.fifo[1:]
+		if oe, ok := u.entries[old]; ok {
+			u.bytes -= uint64(len(oe.code))
+			delete(u.entries, old)
+		}
+	}
+}
+
+// digestInit/foldDigest implement the running FNV-1a folds used for the
+// map-build and chain digests and for packing the key's layout/env words.
+const digestInit uint64 = 0xcbf29ce484222325
+
+func foldDigest(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= (v >> i) & 0xff
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// installShared commits a shared unit into this VM's code cache and
+// replays every side effect a cold translation would have had: map builds
+// (advancing the PSR RNG stream identically), warm-target lookup counter
+// deltas, trap and call registration, covered source ranges, and the
+// translation counter. After install the VM is indistinguishable from one
+// that ran the translator — that equivalence keeps experiment tables
+// deterministic no matter which VM populated the cache first.
+func (vm *VM) installShared(k isa.Kind, src uint32, u *unitEntry) (uint32, bool) {
+	c := vm.caches[k]
+	addr, ok := c.Reserve(uint32(len(u.code)), vm.unitAlign())
+	if !ok {
+		return 0, false
+	}
+	c.Commit(vm.P.Mem, src, addr, u.code)
+	c.AddCovered(u.covered)
+	c.SetStubStart(addr + u.stubOff)
+	for _, idx := range u.mapBuilds {
+		vm.mapOf(vm.Bin.Funcs[idx])
+	}
+	c.Lookups += u.lookupDelta
+	c.Hits += u.hitDelta
+	vm.Stats.Translations[k]++
+	for _, ut := range u.traps {
+		meta := ut.meta
+		meta.gen = vm.gen[k]
+		if ut.hasPatch {
+			meta.patchAddr = addr + ut.patchOff
+		}
+		vm.traps[k][addr+ut.off] = meta
+	}
+	for _, uc := range u.calls {
+		vm.calls[k][addr+uc.off] = callMeta{srcRet: uc.srcRet, gen: vm.gen[k]}
+	}
+	return addr, true
+}
+
+// publishShared packages a just-committed translation into an immutable
+// entry under the key computed before the translator ran. mapN and
+// lk0/ht0 are the map-order length and cache Lookup counters captured at
+// that same point; the differences are the side effects installs replay.
+func (vm *VM) publishShared(key unitKey, addr uint32, code []byte, labels map[string]uint32, t *translator, mapN int, lk0, ht0 uint64) {
+	c := vm.caches[t.k]
+	e := &unitEntry{
+		code:        append([]byte(nil), code...),
+		stubOff:     labels[stubsLabel] - addr,
+		covered:     append([][2]uint32(nil), t.srcRanges()...),
+		mapBuilds:   append([]int(nil), vm.mapOrder[mapN:]...),
+		lookupDelta: c.Lookups - lk0,
+		hitDelta:    c.Hits - ht0,
+	}
+	for _, pt := range t.newTraps {
+		ut := unitTrap{off: labels[pt.label] - addr, meta: pt.meta}
+		if pt.patchLabel != "" {
+			ut.patchOff = labels[pt.patchLabel] - addr
+			ut.hasPatch = true
+		}
+		e.traps = append(e.traps, ut)
+	}
+	for _, pc := range t.newCalls {
+		e.calls = append(e.calls, unitCall{off: labels[pc.label] - addr, srcRet: pc.srcRet})
+	}
+	vm.shared.publish(key, e)
+	vm.Stats.SharedInstalls++
+}
+
+// unitKeyFor computes the content-addressed key for translating src on ISA
+// k at cache address base under the VM's current layout and cache state.
+func (vm *VM) unitKeyFor(k isa.Kind, src, base uint32) unitKey {
+	layout := foldDigest(digestInit, uint64(vm.layoutSeed))
+	layout = foldDigest(layout, uint64(vm.Cfg.Opt)|uint64(vm.Cfg.RandPages)<<8)
+	layout = foldDigest(layout, vm.mapDigest)
+	env := foldDigest(digestInit, uint64(vm.Cfg.CodeCacheSize))
+	env = foldDigest(env, uint64(base))
+	env = foldDigest(env, vm.caches[k].chain)
+	return unitKey{bin: vm.Bin.ContentHash(), k: k, src: src, layout: layout, env: env}
+}

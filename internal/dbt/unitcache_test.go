@@ -1,0 +1,119 @@
+package dbt_test
+
+import (
+	"testing"
+
+	"hipstr/internal/dbt"
+	"hipstr/internal/fatbin"
+	"hipstr/internal/isa"
+)
+
+// cacheBytes snapshots the translated-code region of one ISA's cache.
+func cacheBytes(t *testing.T, vm *dbt.VM, k isa.Kind) []byte {
+	t.Helper()
+	buf := make([]byte, vm.Cache(k).Used())
+	if err := vm.P.Mem.Read(fatbin.CacheBase(k), buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestSharedUnitsServeSecondVM: two VMs with identical binary, seed, and
+// layout config share one unit cache. The first boots cold and publishes
+// every unit; the second installs by copy — and must end up with the
+// byte-identical cache region and identical translation stats.
+func TestSharedUnitsServeSecondVM(t *testing.T) {
+	bin, want := compile(t, "sumloop")
+	cfg := dbt.DefaultConfig()
+	cfg.MigrateProb = 0
+	cfg.SharedUnits = dbt.NewUnitCache(dbt.DefaultUnitCacheBytes)
+
+	first := runVM(t, bin, isa.X86, cfg)
+	second := runVM(t, bin, isa.X86, cfg)
+	for _, vm := range []*dbt.VM{first, second} {
+		if vm.P.ExitCode != want {
+			t.Fatalf("exit %d want %d", vm.P.ExitCode, want)
+		}
+	}
+	if first.Stats.SharedHits != 0 {
+		t.Fatalf("cold VM reported %d shared hits", first.Stats.SharedHits)
+	}
+	if first.Stats.SharedInstalls == 0 {
+		t.Fatal("cold VM published no units")
+	}
+	if second.Stats.SharedHits == 0 {
+		t.Fatal("warm VM translated everything from scratch")
+	}
+	if second.Stats.Translations != first.Stats.Translations {
+		t.Fatalf("translations: cold %d warm %d",
+			first.Stats.Translations, second.Stats.Translations)
+	}
+	if a, b := cacheBytes(t, first, isa.X86), cacheBytes(t, second, isa.X86); string(a) != string(b) {
+		t.Fatal("shared-unit install produced different cache bytes than cold translation")
+	}
+	st := cfg.SharedUnits.Stats()
+	if st.Hits == 0 || st.Installs == 0 || st.BytesSaved == 0 {
+		t.Fatalf("cache stats not accounted: %+v", st)
+	}
+}
+
+// TestSharedUnitsKeyedBySeed: a different PSR seed means different
+// relocation maps, so units published under one seed must never serve a
+// VM booted under another.
+func TestSharedUnitsKeyedBySeed(t *testing.T) {
+	bin, _ := compile(t, "sumloop")
+	cfg := dbt.DefaultConfig()
+	cfg.MigrateProb = 0
+	cfg.SharedUnits = dbt.NewUnitCache(dbt.DefaultUnitCacheBytes)
+
+	runVM(t, bin, isa.X86, cfg)
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	other := runVM(t, bin, isa.X86, cfg2)
+	if other.Stats.SharedHits != 0 {
+		t.Fatalf("VM with different seed got %d shared hits", other.Stats.SharedHits)
+	}
+	if other.Stats.SharedInstalls == 0 {
+		t.Fatal("second seed published nothing")
+	}
+}
+
+// TestSharedUnitsKeyedByBinary: units from one binary must not serve
+// another, even at the same seed.
+func TestSharedUnitsKeyedByBinary(t *testing.T) {
+	binA, _ := compile(t, "sumloop")
+	binB, _ := compile(t, "fib")
+	cfg := dbt.DefaultConfig()
+	cfg.MigrateProb = 0
+	cfg.SharedUnits = dbt.NewUnitCache(dbt.DefaultUnitCacheBytes)
+
+	runVM(t, binA, isa.X86, cfg)
+	vmB := runVM(t, binB, isa.X86, cfg)
+	if vmB.Stats.SharedHits != 0 {
+		t.Fatalf("different binary got %d shared hits", vmB.Stats.SharedHits)
+	}
+}
+
+// TestSharedUnitsEviction: a cache capped below the program's translated
+// footprint evicts FIFO — it keeps serving what fits, stays under cap,
+// and never corrupts execution.
+func TestSharedUnitsEviction(t *testing.T) {
+	bin, want := compile(t, "sumloop")
+	const capBytes = 512 // far below the program's translated size
+	cfg := dbt.DefaultConfig()
+	cfg.MigrateProb = 0
+	cfg.SharedUnits = dbt.NewUnitCache(capBytes)
+
+	runVM(t, bin, isa.X86, cfg)
+	second := runVM(t, bin, isa.X86, cfg)
+	if second.P.ExitCode != want {
+		t.Fatalf("exit %d want %d", second.P.ExitCode, want)
+	}
+	st := cfg.SharedUnits.Stats()
+	if st.Bytes > capBytes {
+		t.Fatalf("cache holds %d bytes, cap %d", st.Bytes, capBytes)
+	}
+	if st.Installs <= uint64(st.Entries) {
+		t.Fatalf("no eviction observed: installs %d entries %d", st.Installs, st.Entries)
+	}
+}

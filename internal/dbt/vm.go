@@ -54,6 +54,13 @@ type Config struct {
 	// deeper ring). Zero or negative selects telemetry.DefaultTraceCap;
 	// ignored when Telemetry is injected.
 	TraceCap int
+	// SharedUnits overrides the process-wide shared translation-unit
+	// cache (nil selects dbt.SharedUnits). Tests inject private caches;
+	// cold-spawn benchmarks isolate themselves with one.
+	SharedUnits *UnitCache
+	// NoSharedUnits opts the VM out of the shared unit cache entirely:
+	// every translation runs the translator.
+	NoSharedUnits bool
 }
 
 // DefaultConfig returns the paper's main configuration.
@@ -96,6 +103,12 @@ type Stats struct {
 	Kills              uint64
 	Flushes            uint64
 	SyscallsForwarded  uint64
+	// Shared translation-unit cache outcomes, attributed to this VM (the
+	// cache itself also keeps process-wide aggregates).
+	SharedHits       uint64
+	SharedMisses     uint64
+	SharedInstalls   uint64
+	SharedBytesSaved uint64
 }
 
 // Migrator transforms the running process's state to the other ISA and
@@ -130,6 +143,20 @@ type VM struct {
 	traps  [2]map[uint32]trapMeta
 	calls  [2]map[uint32]callMeta
 	gen    [2]int
+
+	// shared is the content-addressed unit cache this VM consults and
+	// publishes into (nil = opted out).
+	shared *UnitCache
+	// layoutSeed is the PSR seed behind vm.Rand (Cfg.Seed initially; each
+	// Respawn replaces it). Part of the shared cache's layout class.
+	layoutSeed int64
+	// mapOrder records the symbol-table indices of every relocation map
+	// built, in build order; mapDigest folds the same sequence. The
+	// randomizer is sequential, so this order fully determines map
+	// contents given the seed — Fork replays it to reconstruct identical
+	// maps and RNG state, and the shared cache keys on the digest.
+	mapOrder  []int
+	mapDigest uint64
 
 	Stats    Stats
 	Migrator Migrator
@@ -186,13 +213,20 @@ func New(bin *fatbin.Binary, k isa.Kind, cfg Config) (*VM, error) {
 		cfg.Telemetry = telemetry.NewWithTraceCap(cfg.TraceCap)
 	}
 	vm := &VM{
-		Bin:       bin,
-		P:         p,
-		Cfg:       cfg,
-		Rand:      psr.NewRandomizer(cfg.Seed, cfg.psrConfig()),
-		policyRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
-		maps:      make(map[int][2]*psr.Map),
-		tel:       cfg.Telemetry,
+		Bin:        bin,
+		P:          p,
+		Cfg:        cfg,
+		Rand:       psr.NewRandomizer(cfg.Seed, cfg.psrConfig()),
+		policyRng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		maps:       make(map[int][2]*psr.Map),
+		tel:        cfg.Telemetry,
+		layoutSeed: cfg.Seed,
+		mapDigest:  digestInit,
+	}
+	if !cfg.NoSharedUnits {
+		if vm.shared = cfg.SharedUnits; vm.shared == nil {
+			vm.shared = SharedUnits
+		}
 	}
 	vm.registerTelemetry()
 	for _, kk := range isa.Kinds {
@@ -236,6 +270,9 @@ func (vm *VM) Start(k isa.Kind) error {
 func (vm *VM) Respawn(k isa.Kind, newSeed int64) error {
 	vm.Rand = psr.NewRandomizer(newSeed, vm.Cfg.psrConfig())
 	vm.maps = make(map[int][2]*psr.Map)
+	vm.layoutSeed = newSeed
+	vm.mapOrder = vm.mapOrder[:0]
+	vm.mapDigest = digestInit
 	for _, kk := range isa.Kinds {
 		vm.flush(kk)
 	}
@@ -343,6 +380,12 @@ func (vm *VM) registerTelemetry() {
 		r.Counter("dbt.kills").Set(st.Kills)
 		r.Counter("dbt.flushes").Set(st.Flushes)
 		r.Counter("dbt.syscalls_forwarded").Set(st.SyscallsForwarded)
+		r.Counter("dbt.sharedcache.hits").Set(st.SharedHits)
+		r.Counter("dbt.sharedcache.misses").Set(st.SharedMisses)
+		r.Counter("dbt.sharedcache.installs").Set(st.SharedInstalls)
+		r.Counter("dbt.sharedcache.bytes_saved").Set(st.SharedBytesSaved)
+		r.Gauge("mem.cow.shared_pages").Set(float64(vm.P.Mem.SharedPages()))
+		r.Counter("mem.cow.broken_pages").Set(vm.P.Mem.CowBroken())
 	})
 }
 
@@ -367,6 +410,8 @@ func (vm *VM) mapOf(fn *fatbin.FuncMeta) [2]*psr.Map {
 	}
 	pair := vm.Rand.BuildPair(fn)
 	vm.maps[fn.Index] = pair
+	vm.mapOrder = append(vm.mapOrder, fn.Index)
+	vm.mapDigest = foldDigest(vm.mapDigest, uint64(fn.Index))
 	return pair
 }
 
@@ -423,7 +468,10 @@ func (vm *VM) require(k isa.Kind, src uint32, dual bool) (uint32, error) {
 	return addr, nil
 }
 
-// translate builds, assembles, and commits one translation unit.
+// translate builds, assembles, and commits one translation unit — or, when
+// the shared unit cache already holds a byte-identical unit for this exact
+// (binary, ISA, src, PSR layout, cache state) point, installs the shared
+// copy without running the translator at all.
 func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 	fn := vm.Bin.FuncAt(k, src)
 	if fn == nil {
@@ -434,6 +482,37 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 	start := time.Now()
 	for attempt := 0; attempt < 2; attempt++ {
 		base := vm.caches[k].NextAddr(vm.unitAlign())
+		var key unitKey
+		if vm.shared != nil {
+			key = vm.unitKeyFor(k, src, base)
+			if u := vm.shared.lookup(key); u != nil {
+				addr, ok := vm.installShared(k, src, u)
+				if !ok {
+					// Shouldn't happen (the key pins base and cache size),
+					// but fall back to the cold path's flush-and-retry.
+					vm.flush(k)
+					continue
+				}
+				vm.Stats.SharedHits++
+				vm.Stats.SharedBytesSaved += uint64(len(u.code))
+				us := float64(time.Since(start)) / float64(time.Microsecond)
+				vm.histTranslate[k].Observe(us)
+				vm.histUnitBytes[k].Observe(float64(len(u.code)))
+				vm.tel.Emit(telemetry.Event{
+					Type: telemetry.EvTranslate, ISA: k.String(), Addr: src, Cost: us,
+					Detail: fmt.Sprintf("%d bytes (shared)", len(u.code)),
+				})
+				if sp.Active() {
+					sp.SetCostUS(us)
+					sp.SetDetail(fmt.Sprintf("src %#x, %d bytes (shared)", src, len(u.code)))
+					sp.End()
+				}
+				return addr, nil
+			}
+			vm.Stats.SharedMisses++
+		}
+		mapN := len(vm.mapOrder)
+		lk0, ht0 := vm.caches[k].Lookups, vm.caches[k].Hits
 		if vm.xs.asm == nil {
 			vm.xs.asm = isa.NewAsm(k, base)
 		} else {
@@ -486,6 +565,9 @@ func (vm *VM) translate(k isa.Kind, src uint32) (uint32, error) {
 		}
 		for _, pc := range t.newCalls {
 			vm.calls[k][labels[pc.label]] = callMeta{srcRet: pc.srcRet, gen: vm.gen[k]}
+		}
+		if vm.shared != nil {
+			vm.publishShared(key, addr, code, labels, t, mapN, lk0, ht0)
 		}
 		us := float64(time.Since(start)) / float64(time.Microsecond)
 		vm.histTranslate[k].Observe(us)

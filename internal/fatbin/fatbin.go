@@ -10,7 +10,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"sync/atomic"
 
 	"hipstr/internal/isa"
 	"hipstr/internal/mem"
@@ -170,6 +172,8 @@ func (f *FuncMeta) RelocatableOffsets() []uint32 {
 }
 
 // Binary is a loaded-image description of a multi-ISA fat binary.
+// Binaries are immutable after construction; that is what lets many VMs
+// share one Binary and what makes ContentHash cacheable.
 type Binary struct {
 	Module     string
 	Text       [2][]byte
@@ -177,6 +181,36 @@ type Binary struct {
 	Funcs      []*FuncMeta
 	FuncByName map[string]int
 	EntryFunc  string // function where execution starts
+
+	// contentHash caches ContentHash (0 = not yet computed; computed
+	// values always have the top bit set). Atomic so concurrent VMs
+	// hashing a shared Binary don't race; losers of the publish race
+	// recompute the same value.
+	contentHash atomic.Uint64
+}
+
+// ContentHash returns a deterministic digest of everything that can
+// influence translation output: both text sections, the data image, and
+// the full extended symbol table in function order. It deliberately avoids
+// gob (map iteration order is randomized) so equal binaries hash equal
+// across processes and runs. The shared translation-unit cache keys on it.
+func (b *Binary) ContentHash() uint64 {
+	if h := b.contentHash.Load(); h != 0 {
+		return h
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00", b.Module, b.EntryFunc)
+	for _, t := range b.Text {
+		h.Write(t)
+		h.Write([]byte{0})
+	}
+	h.Write(b.Data)
+	for _, f := range b.Funcs {
+		fmt.Fprintf(h, "%+v", *f)
+	}
+	sum := h.Sum64() | 1<<63
+	b.contentHash.Store(sum)
+	return sum
 }
 
 // Func returns the named function's metadata, or nil.

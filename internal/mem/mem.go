@@ -66,6 +66,12 @@ type page struct {
 	// effective generation reported by PageGen is max(gen, allGen), so
 	// whole-address-space invalidations stay O(1).
 	gen uint64
+	// shared marks data as aliased by a Snapshot or a sibling Memory
+	// (Fork/Clone): the bytes are immutable until this Memory copies them
+	// (copy-on-write). The flag is per-Memory and flipped only by the
+	// owning goroutine, so the write barrier pays a plain bool check, not
+	// an atomic.
+	shared bool
 }
 
 // Region is a named address range of the process layout.
@@ -107,6 +113,9 @@ type Memory struct {
 	// than CodeWriteLogSize generations (or that observe allGen moving)
 	// fall back to coarser page- or whole-cache invalidation.
 	writeLog [CodeWriteLogSize]codeWrite
+	// cowBroken counts pages this Memory has privatized: shared page data
+	// copied because of a write (see ensureOwned).
+	cowBroken uint64
 }
 
 // CodeWriteLogSize is the number of recent ranged code mutations the
@@ -277,6 +286,39 @@ func (m *Memory) RegionAt(addr uint32) (Region, bool) {
 	return Region{}, false
 }
 
+// ensureOwned privatizes a page whose data is aliased by a snapshot or a
+// sibling fork: the bytes are copied and the shared flag drops, so the
+// write about to happen cannot leak into other address spaces. Pages never
+// shared (the common case after warm-up) cost one predictable branch.
+func (m *Memory) ensureOwned(pg *page) {
+	if !pg.shared {
+		return
+	}
+	nd := make([]byte, PageSize)
+	copy(nd, pg.data)
+	pg.data = nd
+	pg.shared = false
+	m.cowBroken++
+}
+
+// CowBroken returns how many shared pages this Memory has privatized
+// (copied on first write) since it was created or forked.
+func (m *Memory) CowBroken() uint64 { return m.cowBroken }
+
+// SharedPages returns how many of this Memory's pages still alias bytes
+// owned jointly with a snapshot or sibling fork. A freshly forked Memory
+// shares everything; the count decays as the write barrier privatizes
+// pages.
+func (m *Memory) SharedPages() int {
+	n := 0
+	for _, pg := range m.pages {
+		if pg.shared {
+			n++
+		}
+	}
+	return n
+}
+
 func (m *Memory) pageFor(addr uint32, access Perm) (*page, error) {
 	pg, ok := m.pages[addr/PageSize]
 	if !ok {
@@ -314,6 +356,7 @@ func (m *Memory) Write(addr uint32, buf []byte) error {
 		if err != nil {
 			return err
 		}
+		m.ensureOwned(pg)
 		if pg.perm&PermX != 0 {
 			if !bumped {
 				m.codeGen++
@@ -343,6 +386,7 @@ func (m *Memory) WriteForce(addr uint32, buf []byte) {
 			pg = &page{data: make([]byte, PageSize)}
 			m.pages[pn] = pg
 		}
+		m.ensureOwned(pg)
 		if pg.perm&PermX != 0 {
 			if !bumped {
 				m.codeGen++
@@ -433,20 +477,74 @@ func (m *Memory) FetchInto(addr uint32, buf []byte) (int, error) {
 	return n, nil
 }
 
-// Clone deep-copies the address space, including regions. Respawn-based
-// brute-force simulations use it to restore pristine process images.
-func (m *Memory) Clone() *Memory {
-	c := New()
+// Snapshot is a frozen image of a Memory: page data aliased copy-on-write,
+// plus the region table and the full code-generation state (codeGen,
+// allGen floor, write log) at the moment of the snapshot. Snapshots are
+// immutable and safe to Fork from many goroutines concurrently; the
+// source Memory keeps running and privatizes pages as it writes.
+type Snapshot struct {
+	pages    map[uint32]snapPage
+	regions  map[string]Region
+	codeGen  uint64
+	allGen   uint64
+	writeLog [CodeWriteLogSize]codeWrite
+}
+
+type snapPage struct {
+	data []byte // immutable: every aliasing Memory carries shared=true
+	perm Perm
+	gen  uint64
+}
+
+// Snapshot freezes the current image. Every live page is marked shared, so
+// the source Memory's next write to it copies first — the snapshot's bytes
+// never change after this call. Cost is O(page-table), zero byte copies.
+func (m *Memory) Snapshot() *Snapshot {
+	s := &Snapshot{
+		pages:    make(map[uint32]snapPage, len(m.pages)),
+		regions:  make(map[string]Region, len(m.regions)),
+		codeGen:  m.codeGen,
+		allGen:   m.allGen,
+		writeLog: m.writeLog,
+	}
 	for pn, pg := range m.pages {
-		np := &page{data: make([]byte, PageSize), perm: pg.perm, gen: pg.gen}
-		copy(np.data, pg.data)
-		c.pages[pn] = np
+		pg.shared = true
+		s.pages[pn] = snapPage{data: pg.data, perm: pg.perm, gen: pg.gen}
 	}
 	for n, r := range m.regions {
+		s.regions[n] = r
+	}
+	return s
+}
+
+// Pages returns how many pages the snapshot holds.
+func (s *Snapshot) Pages() int { return len(s.pages) }
+
+// Fork materializes a new Memory from the snapshot. Every page aliases the
+// snapshot's bytes until the new Memory first writes it (the write barrier
+// copies on demand), so forking costs O(page-table) regardless of image
+// size. Code generations, the allGen floor, and the write log carry over,
+// keeping block caches built against the source image exactly as valid as
+// they were at snapshot time.
+func (s *Snapshot) Fork() *Memory {
+	c := New()
+	for pn, sp := range s.pages {
+		c.pages[pn] = &page{data: sp.data, perm: sp.perm, gen: sp.gen, shared: true}
+	}
+	for n, r := range s.regions {
 		c.regions[n] = r
 	}
-	c.codeGen = m.codeGen
-	c.allGen = m.allGen
-	c.writeLog = m.writeLog
+	c.codeGen = s.codeGen
+	c.allGen = s.allGen
+	c.writeLog = s.writeLog
 	return c
+}
+
+// Clone copies the address space, including regions and generation state.
+// The copy is lazy: both the original and the clone keep aliasing the same
+// page bytes until either side writes (copy-on-write), so Clone is
+// O(page-table) rather than O(image). Respawn-based brute-force
+// simulations use it to restore pristine process images.
+func (m *Memory) Clone() *Memory {
+	return m.Snapshot().Fork()
 }

@@ -86,6 +86,21 @@ func NewWith(bin *fatbin.Binary, k isa.Kind, stackSize, heapSize uint32) (*Proce
 	return p, nil
 }
 
+// Adopt wraps an already-populated address space and machine state as a
+// Process, skipping the O(image) bin.Load of NewWith. The snapshot/fork
+// fast path uses it: ram is a copy-on-write fork of a booted (and possibly
+// long-running) process image, st the register state to continue from.
+// Trace/Exited/Execves start empty; the caller restores them when forking
+// mid-run state rather than a pristine boot.
+func Adopt(bin *fatbin.Binary, st machine.State, ram *mem.Memory) *Process {
+	m := machine.New(st.ISA, ram)
+	m.State = st
+	p := &Process{Bin: bin, Mem: ram, M: m}
+	m.Syscall = p.handleSyscall
+	m.OnControl = p.handleControl
+	return p
+}
+
 // Reset rewinds the machine to the program entry on ISA k without
 // reloading memory. (Memory mutations from a previous run persist; use a
 // fresh process for pristine state.)

@@ -17,7 +17,11 @@ func TestWritePromByteStable(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("dbt.translations.x86").Add(7)
 	r.Counter("dbt.translations.arm").Add(3)
+	r.Counter("dbt.sharedcache.hits").Add(5)
+	r.Counter("dbt.sharedcache.bytes_saved").Add(4096)
+	r.Counter("mem.cow.broken_pages").Add(2)
 	r.Gauge("dbt.cache.x86.occupancy").Set(0.25)
+	r.Gauge("mem.cow.shared_pages").Set(12)
 	h := r.Histogram("dbt.translate.latency_us.x86")
 	h.Observe(1)   // bucket le=1 (1.02^0, exact)
 	h.Observe(1)   // bucket le=1
@@ -25,12 +29,20 @@ func TestWritePromByteStable(t *testing.T) {
 	h.Observe(100) // bucket le=1.02^233 ~ 100.89
 
 	want := strings.Join([]string{
+		"# TYPE dbt_sharedcache_bytes_saved counter",
+		"dbt_sharedcache_bytes_saved 4096",
+		"# TYPE dbt_sharedcache_hits counter",
+		"dbt_sharedcache_hits 5",
 		"# TYPE dbt_translations_arm counter",
 		"dbt_translations_arm 3",
 		"# TYPE dbt_translations_x86 counter",
 		"dbt_translations_x86 7",
+		"# TYPE mem_cow_broken_pages counter",
+		"mem_cow_broken_pages 2",
 		"# TYPE dbt_cache_x86_occupancy gauge",
 		"dbt_cache_x86_occupancy 0.25",
+		"# TYPE mem_cow_shared_pages gauge",
+		"mem_cow_shared_pages 12",
 		"# TYPE dbt_translate_latency_us_x86 histogram",
 		`dbt_translate_latency_us_x86_bucket{le="1"} 2`,
 		`dbt_translate_latency_us_x86_bucket{le="3.0311652864835517"} 3`,
