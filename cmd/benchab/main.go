@@ -1,0 +1,346 @@
+// Command benchab automates the interleaved A/B benchmark protocol used
+// to validate every performance PR in this repo, and doubles as the CI
+// regression gate.
+//
+// A/B mode compares two git refs (or a ref against the current working
+// tree) by materialising each side in its own git worktree and running
+// the selected benchmarks in strict A,B,A,B,... interleaving — the same
+// machine, the same thermal/noise environment, alternating sides so
+// neither monopolises a quiet or a noisy window. The best (minimum
+// ns/op) run per sub-benchmark wins for each side, and the result is
+// emitted as a BENCH_*.json document in the repo's before/after shape:
+//
+//	benchab -base HEAD~1 -bench 'BenchmarkInterpreterSteps' -rounds 5 \
+//	        -json BENCH_interp.json -note-before "..." -note-after "..."
+//
+// Check mode replays the benchmarks on the current tree and asserts
+// against the "after" section of a checked-in BENCH_*.json: steps/s (or
+// 1/ns fallback) must stay within -tolerance of the recorded figure, and
+// allocs/op must not exceed the recorded value. CI uses this as the
+// bench smoke gate:
+//
+//	benchab -check BENCH_interp.json -tolerance 0.20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one sub-benchmark's figures, matching the BENCH_*.json shape.
+type Result struct {
+	NsPerStep   float64 `json:"ns_per_step"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+// Side is the before or after half of a BENCH document.
+type Side struct {
+	Commit  string            `json:"commit,omitempty"`
+	Note    string            `json:"note,omitempty"`
+	Results map[string]Result `json:"results"`
+}
+
+// Doc is the full BENCH_*.json document.
+type Doc struct {
+	Benchmark   string             `json:"benchmark"`
+	Description string             `json:"description,omitempty"`
+	Environment map[string]string  `json:"environment"`
+	Before      Side               `json:"before"`
+	After       Side               `json:"after"`
+	Speedup     map[string]float64 `json:"speedup_steps_per_sec"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchab: ")
+	var (
+		bench      = flag.String("bench", "BenchmarkInterpreterSteps", "benchmark regex passed to go test -bench")
+		pkg        = flag.String("pkg", ".", "package to benchmark (relative to repo root)")
+		base       = flag.String("base", "", "git ref for the 'before' side (required in A/B mode)")
+		head       = flag.String("head", "", "git ref for the 'after' side (default: current working tree)")
+		rounds     = flag.Int("rounds", 5, "interleaved rounds per side")
+		benchtime  = flag.String("benchtime", "1s", "go test -benchtime")
+		jsonOut    = flag.String("json", "", "write the before/after document to this file (default: stdout)")
+		noteBefore = flag.String("note-before", "", "note recorded on the before side")
+		noteAfter  = flag.String("note-after", "", "note recorded on the after side")
+		desc       = flag.String("description", "", "document description")
+		check      = flag.String("check", "", "check mode: assert current tree against this BENCH_*.json's 'after' results")
+		tolerance  = flag.Float64("tolerance", 0.20, "check mode: allowed fractional steps/s regression")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := runCheck(*check, *bench, *pkg, *benchtime, *rounds, *tolerance); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *base == "" {
+		log.Fatal("A/B mode needs -base <git-ref> (or use -check)")
+	}
+	if err := runAB(*bench, *pkg, *base, *head, *benchtime, *rounds,
+		*jsonOut, *noteBefore, *noteAfter, *desc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runAB executes the interleaved protocol and writes the document.
+func runAB(bench, pkg, base, head, benchtime string, rounds int,
+	jsonOut, noteBefore, noteAfter, desc string) error {
+	baseDir, cleanupBase, err := checkout(base)
+	if err != nil {
+		return err
+	}
+	defer cleanupBase()
+	headDir := "."
+	if head != "" {
+		var cleanupHead func()
+		headDir, cleanupHead, err = checkout(head)
+		if err != nil {
+			return err
+		}
+		defer cleanupHead()
+	}
+
+	env := map[string]string{}
+	before := map[string]Result{}
+	after := map[string]Result{}
+	for i := 0; i < rounds; i++ {
+		log.Printf("round %d/%d: before (%s)", i+1, rounds, base)
+		if err := runOnce(baseDir, pkg, bench, benchtime, before, env); err != nil {
+			return fmt.Errorf("before side: %w", err)
+		}
+		log.Printf("round %d/%d: after", i+1, rounds)
+		if err := runOnce(headDir, pkg, bench, benchtime, after, env); err != nil {
+			return fmt.Errorf("after side: %w", err)
+		}
+	}
+	if len(before) == 0 || len(after) == 0 {
+		return fmt.Errorf("benchmark regex %q matched nothing", bench)
+	}
+
+	doc := Doc{
+		Benchmark:   bench,
+		Description: desc,
+		Environment: env,
+		Before:      Side{Commit: shortCommit(base), Note: noteBefore, Results: before},
+		After:       Side{Note: noteAfter, Results: after},
+		Speedup:     map[string]float64{},
+	}
+	if head != "" {
+		doc.After.Commit = shortCommit(head)
+	}
+	for name, b := range before {
+		if a, ok := after[name]; ok && b.StepsPerSec > 0 {
+			doc.Speedup[name] = round2(a.StepsPerSec / b.StepsPerSec)
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonOut == "" {
+		os.Stdout.Write(out)
+		return nil
+	}
+	if err := os.WriteFile(jsonOut, out, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", jsonOut)
+	return nil
+}
+
+// runCheck benchmarks the current tree and gates on a recorded document.
+func runCheck(path, bench, pkg, benchtime string, rounds int, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.After.Results) == 0 {
+		return fmt.Errorf("%s has no after.results to gate on", path)
+	}
+	got := map[string]Result{}
+	for i := 0; i < rounds; i++ {
+		log.Printf("round %d/%d", i+1, rounds)
+		if err := runOnce(".", pkg, bench, benchtime, got, nil); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(doc.After.Results))
+	for name := range doc.After.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := doc.After.Results[name]
+		g, ok := got[name]
+		if !ok {
+			log.Printf("FAIL %s: benchmark missing from run", name)
+			failed = true
+			continue
+		}
+		floor := want.StepsPerSec * (1 - tolerance)
+		switch {
+		case g.AllocsPerOp > want.AllocsPerOp:
+			log.Printf("FAIL %s: %d allocs/op, recorded %d", name, g.AllocsPerOp, want.AllocsPerOp)
+			failed = true
+		case g.StepsPerSec < floor:
+			log.Printf("FAIL %s: %.0f steps/s < floor %.0f (recorded %.0f, tolerance %.0f%%)",
+				name, g.StepsPerSec, floor, want.StepsPerSec, 100*tolerance)
+			failed = true
+		default:
+			log.Printf("ok   %s: %.2f ns/op, %.0f steps/s (floor %.0f), %d allocs/op",
+				name, g.NsPerStep, g.StepsPerSec, floor, g.AllocsPerOp)
+		}
+	}
+	if failed {
+		return fmt.Errorf("bench floor check failed against %s", path)
+	}
+	return nil
+}
+
+// checkout materialises ref in a temporary git worktree and returns its
+// path plus a cleanup func. The worktree is detached so it never touches
+// branch state.
+func checkout(ref string) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "benchab-"+sanitize(ref)+"-")
+	if err != nil {
+		return "", nil, err
+	}
+	// MkdirTemp creates the dir; git worktree add wants to create it.
+	os.Remove(dir)
+	if out, err := exec.Command("git", "worktree", "add", "--detach", dir, ref).CombinedOutput(); err != nil {
+		return "", nil, fmt.Errorf("git worktree add %s: %v\n%s", ref, err, out)
+	}
+	cleanup := func() {
+		exec.Command("git", "worktree", "remove", "--force", dir).Run()
+		os.RemoveAll(dir)
+	}
+	return dir, cleanup, nil
+}
+
+// runOnce executes one go test -bench pass in dir, folding each parsed
+// line into best (keeping the minimum-ns/op observation per name) and,
+// when env is non-nil, capturing the goos/goarch/cpu header lines.
+func runOnce(dir, pkg, bench, benchtime string, best map[string]Result, env map[string]string) error {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, "-count", "1", pkg)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go test -bench in %s: %v\n%s", dir, err, out)
+	}
+	parseBenchOutput(string(out), best, env)
+	return nil
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// parseBenchOutput folds go test -bench lines into best. Keys are the
+// sub-benchmark path after the first '/' (with the trailing -GOMAXPROCS
+// suffix stripped), or the full name for flat benchmarks.
+func parseBenchOutput(out string, best map[string]Result, env map[string]string) {
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if env != nil {
+			for _, key := range []string{"goos", "goarch", "cpu"} {
+				if v, ok := strings.CutPrefix(line, key+": "); ok {
+					env[key] = strings.TrimSpace(v)
+				}
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := trimProcs(m[1])
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		r, ok := parseMetrics(m[2])
+		if !ok {
+			continue
+		}
+		if prev, seen := best[name]; !seen || r.NsPerStep < prev.NsPerStep {
+			best[name] = r
+		}
+	}
+}
+
+// trimProcs strips the -GOMAXPROCS suffix go test appends to bench names.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseMetrics reads the "value unit value unit ..." tail of a bench line.
+func parseMetrics(tail string) (Result, bool) {
+	var r Result
+	fields := strings.Fields(tail)
+	ok := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return r, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerStep = v
+			ok = true
+		case "steps/s":
+			r.StepsPerSec = v
+		case "B/op":
+			r.BytesPerOp = uint64(v)
+		case "allocs/op":
+			r.AllocsPerOp = uint64(v)
+		}
+	}
+	if ok && r.StepsPerSec == 0 && r.NsPerStep > 0 {
+		r.StepsPerSec = 1e9 / r.NsPerStep
+	}
+	return r, ok
+}
+
+func shortCommit(ref string) string {
+	out, err := exec.Command("git", "rev-parse", "--short", ref).Output()
+	if err != nil {
+		return ref
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '.' {
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func round2(v float64) float64 {
+	s, _ := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 2, 64), 64)
+	return s
+}

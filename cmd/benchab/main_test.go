@@ -1,0 +1,71 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hipstr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInterpreterSteps/x86-4                 	33491311	        34.39 ns/op	  29076476 steps/s	       0 B/op	       0 allocs/op
+BenchmarkInterpreterSteps/x86-observed-4        	22470790	        52.79 ns/op	  18943change steps/s
+BenchmarkInterpreterSteps/arm-4                 	38215176	        31.34 ns/op	  31908077 steps/s	       0 B/op	       0 allocs/op
+BenchmarkFlat-4                                 	  100000	       475.70 ns/op	     112 B/op	       2 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	best := map[string]Result{}
+	env := map[string]string{}
+	parseBenchOutput(sampleOutput, best, env)
+
+	if env["goos"] != "linux" || env["goarch"] != "amd64" ||
+		env["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("environment header not captured: %v", env)
+	}
+	x86, ok := best["x86"]
+	if !ok {
+		t.Fatalf("x86 result missing: %v", best)
+	}
+	if x86.NsPerStep != 34.39 || x86.StepsPerSec != 29076476 ||
+		x86.BytesPerOp != 0 || x86.AllocsPerOp != 0 {
+		t.Fatalf("x86 parsed wrong: %+v", x86)
+	}
+	if _, ok := best["x86-observed"]; ok {
+		t.Fatal("malformed line should be skipped, not folded in")
+	}
+	// A flat benchmark keys on its full (procs-stripped) name and derives
+	// steps/s from ns/op when the metric is absent.
+	flat, ok := best["BenchmarkFlat"]
+	if !ok {
+		t.Fatalf("flat result missing: %v", best)
+	}
+	if flat.AllocsPerOp != 2 || flat.BytesPerOp != 112 {
+		t.Fatalf("flat allocs parsed wrong: %+v", flat)
+	}
+	if flat.StepsPerSec < 2_102_165 || flat.StepsPerSec > 2_102_166 {
+		t.Fatalf("steps/s fallback wrong: %v", flat.StepsPerSec)
+	}
+}
+
+func TestParseBenchOutputKeepsBest(t *testing.T) {
+	best := map[string]Result{}
+	parseBenchOutput("BenchmarkX/a-4 10 50.0 ns/op\n", best, nil)
+	parseBenchOutput("BenchmarkX/a-4 10 40.0 ns/op\n", best, nil)
+	parseBenchOutput("BenchmarkX/a-4 10 60.0 ns/op\n", best, nil)
+	if got := best["a"].NsPerStep; got != 40.0 {
+		t.Fatalf("best ns/op = %v, want 40.0", got)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkInterpreterSteps/x86-observed-4": "BenchmarkInterpreterSteps/x86-observed",
+		"BenchmarkFlat-16":                         "BenchmarkFlat",
+		"BenchmarkNoSuffix":                        "BenchmarkNoSuffix",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

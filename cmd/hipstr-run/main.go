@@ -126,6 +126,11 @@ func main() {
 			tel.Reg.Counter("machine.blockcache.evicted").Set(bs.BlocksEvicted)
 			tel.Reg.Gauge("machine.blockcache.blocks").Set(float64(bs.Blocks))
 			tel.Reg.Gauge("machine.blockcache.hit_ratio").Set(bs.HitRatio())
+			fs := p.M.FusionStats()
+			tel.Reg.Counter("machine.fusion.pairs").Set(fs.PairsFused)
+			tel.Reg.Counter("machine.fusion.blocks.batched").Set(fs.BatchedBlocks)
+			tel.Reg.Counter("machine.fusion.blocks.exact").Set(fs.ExactBlocks)
+			tel.Reg.Counter("machine.fusion.commits").Set(fs.Commits)
 		})
 		runChunk = func(n uint64) (uint64, bool, error) {
 			ran, err := p.Run(n)
@@ -137,10 +142,11 @@ func main() {
 			fmt.Printf("  cycles=%.0f cpi=%.3f est=%.3fms on %s\n",
 				model.Cycles, model.CPI(), model.Seconds()*1e3, model.Core.Name)
 			fmt.Printf("  icache miss=%s dcache miss=%s bpred mispredict=%s\n",
-				ratio(model.ICache.Misses, model.ICache.Hits+model.ICache.Misses),
-				ratio(model.DCache.Misses, model.DCache.Hits+model.DCache.Misses),
+				ratio(model.ICache.Misses, model.ICache.Hits()+model.ICache.Misses),
+				ratio(model.DCache.Misses, model.DCache.Hits()+model.DCache.Misses),
 				ratio(model.Bpred.Mispredicts, model.Bpred.Lookups))
 			printBlockStats(p.M.BlockStats())
+			printFusionStats(p.M.FusionStats())
 		}
 	case "psr", "hipstr":
 		cfg := hipstr.Defaults()
@@ -190,6 +196,7 @@ func main() {
 			fmt.Printf("  RAT: %d lookups, %d misses (active core: %s)\n",
 				rat.Lookups, rat.Misses, s.Active())
 			printBlockStats(s.VM.P.M.BlockStats())
+			printFusionStats(s.VM.P.M.FusionStats())
 		}
 	default:
 		log.Fatalf("unknown mode %q", *mode)
@@ -362,6 +369,15 @@ func printBlockStats(bs machine.BlockCacheStats) {
 	fmt.Printf("  block cache: %d blocks, hit=%s, %d invalidations (%d partial, %d full), %d blocks evicted\n",
 		bs.Blocks, ratio(bs.Hits, bs.Hits+bs.Misses),
 		bs.Invalidations, bs.PartialInvalidations, bs.FullInvalidations, bs.BlocksEvicted)
+}
+
+// printFusionStats prints the superinstruction/batched-timing summary: how
+// many instruction pairs were fused at predecode, and how block dispatches
+// split between the fused fast path and exact per-instruction mode.
+func printFusionStats(fs machine.FusionStats) {
+	fmt.Printf("  fusion: %d pairs fused, blocks batched=%s (%d batched, %d exact), %d batched commits\n",
+		fs.PairsFused, ratio(fs.BatchedBlocks, fs.BatchedBlocks+fs.ExactBlocks),
+		fs.BatchedBlocks, fs.ExactBlocks, fs.Commits)
 }
 
 func parseISA(name string) (isa.Kind, error) {

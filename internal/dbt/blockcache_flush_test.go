@@ -42,6 +42,7 @@ func TestFlushMidRunInvalidatesBlockCache(t *testing.T) {
 	if vm.P.ExitCode != want {
 		t.Fatalf("result corrupted across flushes: %d != %d", vm.P.ExitCode, want)
 	}
+	fs := vm.P.M.FusionStats()
 	s := vm.Telemetry().Snapshot()
 	for name, wantV := range map[string]uint64{
 		"machine.blockcache.hits":                  bs.Hits,
@@ -50,6 +51,10 @@ func TestFlushMidRunInvalidatesBlockCache(t *testing.T) {
 		"machine.blockcache.invalidations.partial": bs.PartialInvalidations,
 		"machine.blockcache.invalidations.full":    bs.FullInvalidations,
 		"machine.blockcache.evicted":               bs.BlocksEvicted,
+		"machine.fusion.pairs":                     fs.PairsFused,
+		"machine.fusion.blocks.batched":            fs.BatchedBlocks,
+		"machine.fusion.blocks.exact":              fs.ExactBlocks,
+		"machine.fusion.commits":                   fs.Commits,
 	} {
 		if got, ok := s.Counters[name]; !ok || got != wantV {
 			t.Errorf("registry %s = %d (present=%v), want %d", name, got, ok, wantV)

@@ -368,6 +368,11 @@ func (vm *VM) registerTelemetry() {
 		r.Counter("machine.blockcache.evicted").Set(bs.BlocksEvicted)
 		r.Gauge("machine.blockcache.blocks").Set(float64(bs.Blocks))
 		r.Gauge("machine.blockcache.hit_ratio").Set(bs.HitRatio())
+		fs := vm.P.M.FusionStats()
+		r.Counter("machine.fusion.pairs").Set(fs.PairsFused)
+		r.Counter("machine.fusion.blocks.batched").Set(fs.BatchedBlocks)
+		r.Counter("machine.fusion.blocks.exact").Set(fs.ExactBlocks)
+		r.Counter("machine.fusion.commits").Set(fs.Commits)
 		st := &vm.Stats
 		r.Counter("dbt.indirect_dispatch").Set(st.IndirectDispatch)
 		r.Counter("dbt.code_cache_misses").Set(st.CodeCacheMisses)

@@ -25,11 +25,27 @@ const maxCachedBlocks = 1 << 14
 type Block struct {
 	Insts []isa.Inst
 
+	// Fused is the superinstruction lowering of Insts (see isa.FuseBlock):
+	// the batched dispatch path executes these entries, falling back to
+	// Insts for hooks, fault reporting, and timing commits.
+	Fused []isa.FusedInst
+
 	// [lo, hi) is the byte span the block decoded from (at most BlockCap ×
 	// MaxInstLen ≤ PageSize bytes, so at most two pages). The cache's
 	// per-page index uses the page span to find candidate blocks and the
 	// byte span to evict exactly the ones a write overlapped.
 	lo, hi uint32
+
+	// next chains this block to the successor most recently dispatched
+	// after it, letting steady-state loops bypass the block-map lookup.
+	// A link is trusted only when nextPC and nextISA match the machine
+	// and linkEpoch equals the cache's current eviction epoch — any
+	// eviction bumps the epoch, which invalidates every link at once
+	// without walking blocks.
+	next      *Block
+	nextPC    uint32
+	nextISA   isa.Kind
+	linkEpoch uint64
 }
 
 func (b *Block) pageLo() uint32 { return b.lo / mem.PageSize }
@@ -97,16 +113,28 @@ type blockCache struct {
 	byPage map[uint32]*pageIndex
 	gen    uint64 // mem.CodeGen value the cache is synced to
 	win    []byte // reusable fetch window for refills
-	// free recycles evicted blocks' instruction storage into refills.
-	// Hooks receive *isa.Inst only for the duration of a call and must
-	// not retain them (see Run), so storage of a dropped block cannot be
-	// observed again. Under DBT churn this keeps steady-state refills
-	// from hitting the allocator at all.
-	free [][]isa.Inst
+	// free recycles evicted blocks' instruction storage into refills
+	// (freeFused does the same for their fused lowerings). Hooks receive
+	// *isa.Inst only for the duration of a call and must not retain them
+	// (see Run), so storage of a dropped block cannot be observed again.
+	// Under DBT churn this keeps steady-state refills from hitting the
+	// allocator at all.
+	free      [][]isa.Inst
+	freeFused [][]isa.FusedInst
 
 	hits, misses              uint64
 	partialInvals, fullInvals uint64
 	evicted                   uint64
+
+	// epoch counts eviction events; block successor links record the
+	// epoch they were made in and die when it moves (see Block.next).
+	epoch uint64
+
+	// Fusion/batching counters (see FusionStats).
+	pairsFused    uint64
+	batchedBlocks uint64
+	exactBlocks   uint64
+	commits       uint64
 }
 
 // maxFreeInsts bounds the recycled-storage pool.
@@ -117,6 +145,30 @@ func (bc *blockCache) recycle(b *Block) {
 	if b.Insts != nil && len(bc.free) < maxFreeInsts {
 		bc.free = append(bc.free, b.Insts[:0])
 		b.Insts = nil
+	}
+	if b.Fused != nil && len(bc.freeFused) < maxFreeInsts {
+		bc.freeFused = append(bc.freeFused, b.Fused[:0])
+		b.Fused = nil
+	}
+}
+
+// FusionStats is a snapshot of the superinstruction fusion and batched
+// dispatch counters.
+type FusionStats struct {
+	PairsFused    uint64 // instruction pairs collapsed at predecode time
+	BatchedBlocks uint64 // block dispatches through the fused fast path
+	ExactBlocks   uint64 // block dispatches in exact per-instruction mode
+	Commits       uint64 // batched timing-model commits (CommitBlock calls)
+}
+
+// FusionStats returns a snapshot of the machine's fusion counters.
+func (m *Machine) FusionStats() FusionStats {
+	bc := &m.blocks
+	return FusionStats{
+		PairsFused:    bc.pairsFused,
+		BatchedBlocks: bc.batchedBlocks,
+		ExactBlocks:   bc.exactBlocks,
+		Commits:       bc.commits,
 	}
 }
 
@@ -252,6 +304,9 @@ func (bc *blockCache) evictRange(addr, size uint32) int {
 			delete(bc.byPage, pn)
 		}
 	}
+	if n > 0 {
+		bc.epoch++
+	}
 	bc.evicted += uint64(n)
 	return n
 }
@@ -259,6 +314,7 @@ func (bc *blockCache) evictRange(addr, size uint32) int {
 // dropAll discards every cached block and the page index, recycling the
 // blocks' instruction storage.
 func (bc *blockCache) dropAll() {
+	bc.epoch++
 	for k := range bc.blocks {
 		for _, b := range bc.blocks[k] {
 			bc.recycle(b)
@@ -293,6 +349,9 @@ func (bc *blockCache) evictPage(pn uint32) int {
 		}
 		bc.recycle(b)
 		n++
+	}
+	if n > 0 {
+		bc.epoch++
 	}
 	bc.evicted += uint64(n)
 	return n
@@ -359,9 +418,17 @@ func (bc *blockCache) refill(m *Machine) (*Block, error) {
 		return nil, fmt.Errorf("machine: decode at %#x: %w", m.PC, err)
 	}
 	bc.misses++
+	var fdst []isa.FusedInst
+	if l := len(bc.freeFused); l > 0 {
+		fdst = bc.freeFused[l-1]
+		bc.freeFused = bc.freeFused[:l-1]
+	}
+	fused, pairs := isa.FuseBlock(insts, fdst)
+	bc.pairsFused += uint64(pairs)
 	last := &insts[len(insts)-1]
 	b := &Block{
 		Insts: insts,
+		Fused: fused,
 		lo:    m.PC,
 		hi:    last.Addr + uint32(last.Size),
 	}

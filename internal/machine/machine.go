@@ -122,6 +122,24 @@ type SyscallHandler func(m *Machine, vector int32) error
 // ExecHook observes each instruction before it executes.
 type ExecHook func(m *Machine, in *isa.Inst)
 
+// Timing is the interface the machine drives a cycle-accounting model
+// through. In exact mode (single-stepping, or any OnExec observer
+// attached) the machine calls ObserveInst immediately before each
+// instruction executes. In batched mode the machine executes a fused
+// block's body while logging dynamic effective addresses, then calls
+// CommitBlock once per block: insts[:nLogged] have already executed and
+// must be accounted from the EA log (see isa.Op.StackAccess for the log
+// layout), while insts[nLogged:] are observed against live machine state
+// exactly as ObserveInst would see them — the machine guarantees that
+// state is still pre-execution for the first of them and that any
+// remaining ones need no dynamic state (a fused cmp+jcc tail). Both paths
+// must charge bit-identical cycles: batching changes when accounting
+// runs, never what it sums.
+type Timing interface {
+	ObserveInst(m *Machine, in *isa.Inst)
+	CommitBlock(m *Machine, insts []isa.Inst, nLogged int, eas []uint32)
+}
+
 // Machine couples architectural state with memory and execution hooks.
 type Machine struct {
 	State
@@ -129,6 +147,14 @@ type Machine struct {
 	Syscall   SyscallHandler
 	OnControl ControlHook
 	OnExec    ExecHook
+
+	// Timing, when non-nil, receives cycle-accounting callbacks. Unlike
+	// OnExec it does not force exact per-instruction dispatch: fused
+	// blocks batch its updates into one CommitBlock at block exit, which
+	// is observation-equivalent because every point that can read the
+	// model mid-run (control hooks, syscall handlers, span cycle sources)
+	// sits at a block terminator, after the commit.
+	Timing Timing
 
 	// blocks is the predecoded basic-block cache driving Run. It lives on
 	// the Machine rather than inside State: State is copied and replaced
@@ -141,6 +167,15 @@ type Machine struct {
 	// spans on the "machine" track. Reconciles that evict nothing (the
 	// common case under DBT translation churn) record nothing.
 	Spans *telemetry.SpanTracer
+
+	// eaLog accumulates the dynamic effective addresses of a fused
+	// block's executed body (at most two entries per instruction: memory
+	// operand EAs plus the pre-exec SP of stack ops), consumed by
+	// Timing.CommitBlock. logEA gates the logging so the plain
+	// (unobserved) fast path never pays for it.
+	eaLog [2 * BlockCap]uint32
+	eaN   int
+	logEA bool
 }
 
 // New returns a machine for ISA k over memory m.
@@ -243,11 +278,23 @@ func (m *Machine) Step() error {
 	if err != nil {
 		return fmt.Errorf("machine: decode at %#x: %w", m.PC, err)
 	}
+	return m.stepInst(&in)
+}
+
+// stepInst is the shared per-instruction arm: timing observation, exec
+// hook, step accounting, execution, and error wrapping. Step and Run's
+// exact path both funnel through it so single-stepping and cached
+// dispatch cannot drift; the fused path is checked against it by the
+// differential-semantics tests.
+func (m *Machine) stepInst(in *isa.Inst) error {
+	if m.Timing != nil {
+		m.Timing.ObserveInst(m, in)
+	}
 	if m.OnExec != nil {
-		m.OnExec(m, &in)
+		m.OnExec(m, in)
 	}
 	m.Steps++
-	if err := m.exec(&in); err != nil {
+	if err := m.exec(in); err != nil {
 		return fmt.Errorf("machine: at %#x (%s): %w", in.Addr, in.Op, err)
 	}
 	return nil
@@ -256,46 +303,79 @@ func (m *Machine) Step() error {
 // Run executes until a halt, an error, or maxSteps instructions. It returns
 // the number of instructions executed.
 //
-// Run dispatches predecoded basic blocks: each block is fetched and
-// decoded once, then re-executed from the cache for as long as the
-// memory's code generations hold. Within a block, sequential instructions
-// execute back to back with no fetch, no decode, and no allocation; hooks
-// (OnExec, OnControl, the timing model) still fire per instruction, so
-// observable behavior is identical to stepping. The global generation is
-// re-checked after every instruction; when it moves, the cache reconciles
-// at page granularity and execution continues in place if the current
-// block's pages were untouched — so self-modifying code takes effect at
-// the very next instruction (the same latency the per-step loop had),
-// while unrelated code production (DBT translation commits, chain
-// patches) no longer interrupts the block or evicts its neighbors.
+// Run dispatches predecoded basic blocks: each block is fetched, decoded,
+// and fused into superinstructions once, then re-executed from the cache
+// for as long as the memory's code generations hold.
+//
+// Two dispatch modes exist per block, chosen fresh at every dispatch:
+//
+//   - Batched (the fast path): no per-instruction observer is attached
+//     (OnExec is nil — control hooks and syscall handlers only fire at
+//     block terminators, so they never force exact mode) and the step
+//     budget covers the whole block. Fused entries execute through
+//     dedicated arms, the timing model's delta for the block is committed
+//     once just before the final architectural instruction executes, and
+//     the Mem.CodeGen poll runs only after memory-writing instructions
+//     (the write barrier's dirty signal) — so self-modifying code still
+//     takes effect at the very next instruction.
+//
+//   - Exact: with OnExec attached (profiler sampling, gadget tracing) or
+//     near the budget boundary, instructions run one at a time through
+//     the same stepInst arm Step uses, with hook semantics, Steps counts,
+//     and fault behavior bit-identical to single-stepping.
+//
+// When the code generation moves mid-block, the cache reconciles at page
+// granularity and execution continues in place if the current block's
+// pages were untouched, while unrelated code production (DBT translation
+// commits, chain patches) no longer interrupts the block or evicts its
+// neighbors.
 func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 	start := m.Steps
 	bc := &m.blocks
+	var prev *Block // last dispatched block, for successor chaining
 	for !m.Halted && m.Steps-start < maxSteps {
 		if g := m.Mem.CodeGen(); g != bc.gen {
 			m.reconcileSpanned(bc, g)
 		}
-		blk := bc.lookup(m.ISA, m.PC)
-		if blk == nil {
-			var err error
-			blk, err = bc.refill(m)
-			if err != nil {
-				return m.Steps - start, err
+		var blk *Block
+		if prev != nil && prev.next != nil && prev.nextPC == m.PC &&
+			prev.nextISA == m.ISA && prev.linkEpoch == bc.epoch {
+			// Successor chain: the block most recently executed after
+			// prev at this PC is still cached (no eviction since the
+			// link was made), so skip the map lookup.
+			blk = prev.next
+			bc.hits++
+		} else {
+			blk = bc.lookup(m.ISA, m.PC)
+			if blk == nil {
+				var err error
+				blk, err = bc.refill(m)
+				if err != nil {
+					return m.Steps - start, err
+				}
+			}
+			if prev != nil {
+				prev.next, prev.nextPC = blk, m.PC
+				prev.nextISA, prev.linkEpoch = m.ISA, bc.epoch
 			}
 		}
+		prev = blk
+		if m.OnExec == nil && uint64(len(blk.Insts)) <= maxSteps-(m.Steps-start) {
+			bc.batchedBlocks++
+			if err := m.runFused(blk); err != nil {
+				return m.Steps - start, err
+			}
+			continue
+		}
+		bc.exactBlocks++
 		startPC := m.PC
 		insts := blk.Insts
 		for i := range insts {
 			if m.Steps-start >= maxSteps {
 				return m.Steps - start, nil
 			}
-			in := &insts[i]
-			if m.OnExec != nil {
-				m.OnExec(m, in)
-			}
-			m.Steps++
-			if err := m.exec(in); err != nil {
-				return m.Steps - start, fmt.Errorf("machine: at %#x (%s): %w", in.Addr, in.Op, err)
+			if err := m.stepInst(&insts[i]); err != nil {
+				return m.Steps - start, err
 			}
 			if m.Halted {
 				return m.Steps - start, nil
@@ -692,8 +772,30 @@ func (m *Machine) alu(in *isa.Inst) error {
 	if b, err = m.readOpd(in.Src); err != nil {
 		return err
 	}
+	if in.Op == isa.OpDiv {
+		if b == 0 {
+			return ErrDivZero
+		}
+		if in.ISA == isa.X86 {
+			// x86 form: eax = eax/b, edx = eax%b.
+			q, rem := a/b, a%b
+			m.Regs[isa.EAX] = q
+			m.Regs[isa.EDX] = rem
+			return nil
+		}
+		return m.writeOpd(in.Dst, a/b)
+	}
+	return m.writeOpd(in.Dst, m.aluOp(in.Op, a, b))
+}
+
+// aluOp is the shared ALU arm: it computes op(a, b) and applies the op's
+// flag semantics. Both the generic interpreter switch and the fused exec
+// arms funnel through it, so the two dispatch paths cannot drift. Div is
+// handled by the caller (the x86 form writes a register pair and can
+// fault).
+func (m *Machine) aluOp(op isa.Op, a, b uint32) uint32 {
 	var r uint32
-	switch in.Op {
+	switch op {
 	case isa.OpAdd:
 		r = a + b
 		m.Flags.C = r < a
@@ -725,18 +827,6 @@ func (m *Machine) alu(in *isa.Inst) error {
 		m.setZS(r)
 	case isa.OpMul:
 		r = a * b
-	case isa.OpDiv:
-		if b == 0 {
-			return ErrDivZero
-		}
-		if in.ISA == isa.X86 {
-			// x86 form: eax = eax/b, edx = eax%b.
-			q, rem := a/b, a%b
-			m.Regs[isa.EAX] = q
-			m.Regs[isa.EDX] = rem
-			return nil
-		}
-		r = a / b
 	}
-	return m.writeOpd(in.Dst, r)
+	return r
 }

@@ -116,7 +116,19 @@ type Memory struct {
 	// cowBroken counts pages this Memory has privatized: shared page data
 	// copied because of a write (see ensureOwned).
 	cowBroken uint64
+	// tlb is a direct-mapped translation cache over the page table. Pages
+	// are never removed from the table and *page pointers are stable for
+	// the life of the Memory (Map re-permissions in place, ensureOwned
+	// swaps the data slice inside the struct), so entries never need
+	// invalidation: permissions and the shared flag live on the page and
+	// are still checked on every access. A nil tlbPG slot is empty.
+	tlbPN [tlbSize]uint32
+	tlbPG [tlbSize]*page
 }
+
+// tlbSize is the number of direct-mapped page-translation slots per
+// Memory; must be a power of two.
+const tlbSize = 64
 
 // CodeWriteLogSize is the number of recent ranged code mutations the
 // memory remembers for byte-exact cache invalidation.
@@ -320,9 +332,17 @@ func (m *Memory) SharedPages() int {
 }
 
 func (m *Memory) pageFor(addr uint32, access Perm) (*page, error) {
-	pg, ok := m.pages[addr/PageSize]
-	if !ok {
-		return nil, &Fault{Addr: addr, Access: access}
+	pn := addr / PageSize
+	slot := pn & (tlbSize - 1)
+	pg := m.tlbPG[slot]
+	if pg == nil || m.tlbPN[slot] != pn {
+		var ok bool
+		pg, ok = m.pages[pn]
+		if !ok {
+			return nil, &Fault{Addr: addr, Access: access}
+		}
+		m.tlbPN[slot] = pn
+		m.tlbPG[slot] = pg
 	}
 	if pg.perm&access != access {
 		return nil, &Fault{Addr: addr, Access: access, Mapped: true}
@@ -404,20 +424,39 @@ func (m *Memory) WriteForce(addr uint32, buf []byte) {
 
 // LoadByte reads a single byte.
 func (m *Memory) LoadByte(addr uint32) (byte, error) {
-	var b [1]byte
-	if err := m.Read(addr, b[:]); err != nil {
+	pg, err := m.pageFor(addr, PermR)
+	if err != nil {
 		return 0, err
 	}
-	return b[0], nil
+	return pg.data[addr%PageSize], nil
 }
 
 // StoreByte writes a single byte.
 func (m *Memory) StoreByte(addr uint32, v byte) error {
-	return m.Write(addr, []byte{v})
+	pg, err := m.pageFor(addr, PermW)
+	if err != nil {
+		return err
+	}
+	m.ensureOwned(pg)
+	if pg.perm&PermX != 0 {
+		m.codeGen++
+		m.logCodeWrite(addr, 1)
+		pg.gen = m.codeGen
+	}
+	pg.data[addr%PageSize] = v
+	return nil
 }
 
 // ReadWord reads a little-endian 32-bit word.
 func (m *Memory) ReadWord(addr uint32) (uint32, error) {
+	if po := addr % PageSize; po <= PageSize-4 {
+		pg, err := m.pageFor(addr, PermR)
+		if err != nil {
+			return 0, err
+		}
+		d := pg.data[po : po+4 : po+4]
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+	}
 	var b [4]byte
 	if err := m.Read(addr, b[:]); err != nil {
 		return 0, err
@@ -427,6 +466,21 @@ func (m *Memory) ReadWord(addr uint32) (uint32, error) {
 
 // WriteWord writes a little-endian 32-bit word.
 func (m *Memory) WriteWord(addr uint32, v uint32) error {
+	if po := addr % PageSize; po <= PageSize-4 {
+		pg, err := m.pageFor(addr, PermW)
+		if err != nil {
+			return err
+		}
+		m.ensureOwned(pg)
+		if pg.perm&PermX != 0 {
+			m.codeGen++
+			m.logCodeWrite(addr, 4)
+			pg.gen = m.codeGen
+		}
+		d := pg.data[po : po+4 : po+4]
+		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return nil
+	}
 	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
 	return m.Write(addr, b[:])
 }

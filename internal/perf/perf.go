@@ -86,13 +86,33 @@ func CoreFor(k isa.Kind) CoreConfig {
 type cacheSim struct {
 	cfg      CacheConfig
 	sets     int
+	setMask  int // sets-1 when sets is a power of two, else -1
 	lineBits uint
-	tags     [][]uint32
-	lru      [][]uint64
-	tick     uint64
+	ways     int
+	hitLat   float64 // cfg.HitLat, lifted so access stays inlineable
+	// tags and lru are set-major flat arrays (sets*ways entries): one
+	// bounds-checked slice per access instead of a per-set pointer chase.
+	tags []uint32
+	lru  []uint64
+	tick uint64
+	// lastLine/lastIdx memoize the most recently accessed line and its
+	// flat-array slot. The last-touched way is always the set's newest, so
+	// it can never be the LRU victim of an intervening miss — the memo is
+	// stale-proof, and a repeated access applies the exact same effects
+	// as the search loop would. Its LRU timestamp is written lazily:
+	// memo hits bump only tick, and accessSlow flushes the final value
+	// before any set search reads it, so observable LRU state is
+	// unchanged (intermediate per-hit timestamps are never read).
+	lastLine uint32
+	lastIdx  int
 
-	Hits, Misses uint64
+	Misses uint64
 }
+
+// Hits returns how many accesses were cache hits. Every access is a hit
+// or a miss and tick counts accesses, so the value is derived instead of
+// being a third counter on the hot path.
+func (c *cacheSim) Hits() uint64 { return c.tick - c.Misses }
 
 func newCacheSim(cfg CacheConfig) *cacheSim {
 	lines := cfg.SizeKB * 1024 / cfg.LineB
@@ -104,42 +124,80 @@ func newCacheSim(cfg CacheConfig) *cacheSim {
 	for 1<<lb < cfg.LineB {
 		lb++
 	}
-	c := &cacheSim{cfg: cfg, sets: sets, lineBits: lb}
-	c.tags = make([][]uint32, sets)
-	c.lru = make([][]uint64, sets)
+	c := &cacheSim{cfg: cfg, sets: sets, setMask: -1, lineBits: lb, ways: cfg.Ways, hitLat: cfg.HitLat}
+	if sets&(sets-1) == 0 {
+		c.setMask = sets - 1
+	}
+	c.tags = make([]uint32, sets*cfg.Ways)
+	c.lru = make([]uint64, sets*cfg.Ways)
 	for i := range c.tags {
-		c.tags[i] = make([]uint32, cfg.Ways)
-		c.lru[i] = make([]uint64, cfg.Ways)
-		for w := range c.tags[i] {
-			c.tags[i][w] = ^uint32(0)
-		}
+		c.tags[i] = ^uint32(0)
+	}
+	// Seed the memo with a real resident entry so access needs no
+	// validity check: every fresh tag is ^0, so line ^0 maps to way 0 of
+	// its set and a hit there is exactly what the search loop would
+	// report for that line on an untouched cache.
+	c.lastLine = ^uint32(0)
+	if c.setMask >= 0 {
+		c.lastIdx = (int(c.lastLine) & c.setMask) * cfg.Ways
+	} else {
+		c.lastIdx = (int(c.lastLine) % sets) * cfg.Ways
 	}
 	return c
 }
 
-// access touches addr and returns the latency.
+// access touches addr and returns the latency. The body stays under the
+// inlining budget: the memo-hit path (the overwhelmingly common case in
+// block-structured code) runs without a call, and only genuine set
+// searches reach accessSlow.
 func (c *cacheSim) access(addr uint32) float64 {
-	c.tick++
+	if addr>>c.lineBits == c.lastLine {
+		c.tick++
+		return c.hitLat
+	}
+	return c.accessSlow(addr)
+}
+
+// accessSlow is the non-memoized set search and LRU fill for access.
+func (c *cacheSim) accessSlow(addr uint32) float64 {
 	line := addr >> c.lineBits
-	set := int(line) % c.sets
+	// Flush the memoized way's deferred LRU timestamp (the tick of its
+	// most recent touch, which is the previous access) before any LRU
+	// state is read below.
+	c.lru[c.lastIdx] = c.tick
+	c.tick++
+	// Power-of-two set counts (every Table 1 config) index with a mask;
+	// the modulo fallback keeps arbitrary configs working. Same index
+	// either way, so simulated state evolution is unchanged.
+	var set int
+	if c.setMask >= 0 {
+		set = int(line) & c.setMask
+	} else {
+		set = int(line) % c.sets
+	}
 	tag := line
-	ways := c.tags[set]
-	for w, t := range ways {
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	lru := c.lru[base : base+c.ways]
+	for w, t := range tags {
 		if t == tag {
-			c.lru[set][w] = c.tick
-			c.Hits++
+			lru[w] = c.tick
+			c.lastLine = line
+			c.lastIdx = base + w
 			return c.cfg.HitLat
 		}
 	}
 	c.Misses++
-	victim, oldest := 0, c.lru[set][0]
-	for w := 1; w < len(ways); w++ {
-		if c.lru[set][w] < oldest {
-			victim, oldest = w, c.lru[set][w]
+	victim, oldest := 0, lru[0]
+	for w := 1; w < len(lru); w++ {
+		if lru[w] < oldest {
+			victim, oldest = w, lru[w]
 		}
 	}
-	ways[victim] = tag
-	c.lru[set][victim] = c.tick
+	tags[victim] = tag
+	lru[victim] = c.tick
+	c.lastLine = line
+	c.lastIdx = base + victim
 	return c.cfg.MissLat
 }
 
@@ -219,17 +277,38 @@ type Model struct {
 	lastJccValid  bool
 	lastJccTarget uint32
 	lastJccAddr   uint32
-	prevExec      machine.ExecHook
+
+	// Per-event costs precomputed from Core at construction. Each is the
+	// bit-identical value of the original inline expression (same float
+	// operations in the same order), cached so the observe path performs
+	// no divisions.
+	exp       float64 // latencyExposure()
+	issueCost float64 // 1.0 / IssueWidth
+	icHitCost float64 // ICache.HitLat / FetchWidth / 4
+	mulCost   float64 // 3 * exp / IntMulDiv
+	divCost   float64 // 12 * exp / IntMulDiv
+	callCost  float64 // 1 * exp
 }
 
 // NewModel builds a timing model for the given core.
 func NewModel(core CoreConfig) *Model {
-	return &Model{
+	mo := &Model{
 		Core:   core,
 		ICache: newCacheSim(core.ICache),
 		DCache: newCacheSim(core.DCache),
 		Bpred:  newPredictor(12),
 	}
+	exp := 24.0 / float64(core.ROBSize)
+	if exp > 1 {
+		exp = 1
+	}
+	mo.exp = exp
+	mo.issueCost = 1.0 / float64(core.IssueWidth)
+	mo.icHitCost = core.ICache.HitLat / float64(core.FetchWidth) / 4
+	mo.mulCost = 3 * exp / float64(core.IntMulDiv)
+	mo.divCost = 12 * exp / float64(core.IntMulDiv)
+	mo.callCost = 1 * exp
+	return mo
 }
 
 // BindTelemetry publishes the model's cycle accounting through t: a
@@ -255,39 +334,75 @@ func (mo *Model) BindTelemetry(t *telemetry.Telemetry) {
 		r.Counter("perf." + name + ".calls").Set(mo.Counts.Calls)
 		r.Counter("perf." + name + ".returns").Set(mo.Counts.Returns)
 		r.Counter("perf." + name + ".muldiv").Set(mo.Counts.MulDiv)
-		r.Counter("perf." + name + ".icache.hits").Set(mo.ICache.Hits)
+		r.Counter("perf." + name + ".icache.hits").Set(mo.ICache.Hits())
 		r.Counter("perf." + name + ".icache.misses").Set(mo.ICache.Misses)
-		r.Counter("perf." + name + ".dcache.hits").Set(mo.DCache.Hits)
+		r.Counter("perf." + name + ".dcache.hits").Set(mo.DCache.Hits())
 		r.Counter("perf." + name + ".dcache.misses").Set(mo.DCache.Misses)
 		r.Counter("perf." + name + ".bpred.lookups").Set(mo.Bpred.Lookups)
 		r.Counter("perf." + name + ".bpred.mispredicts").Set(mo.Bpred.Mispredicts)
 	})
 }
 
-// Attach chains the model onto the machine's execution hook. Call Detach
-// (or overwrite OnExec) to stop observing.
+// Attach installs the model as the machine's timing observer. The machine
+// calls ObserveInst before each instruction in exact mode and CommitBlock
+// once per fused block in batched mode; both account identically (see
+// machine.Timing). Set m.Timing to nil to stop observing.
 func (mo *Model) Attach(m *machine.Machine) {
-	mo.prevExec = m.OnExec
-	m.OnExec = func(mm *machine.Machine, in *isa.Inst) {
-		if mo.prevExec != nil {
-			mo.prevExec(mm, in)
-		}
-		mo.Observe(mm, in)
-	}
+	m.Timing = mo
 }
 
 // latencyExposure scales functional-unit latency by how little the ROB can
 // hide: deep out-of-order windows overlap long-latency operations.
 func (mo *Model) latencyExposure() float64 {
-	e := 24.0 / float64(mo.Core.ROBSize)
-	if e > 1 {
-		e = 1
-	}
-	return e
+	return mo.exp
 }
 
-// Observe charges cycles for one executed instruction.
+// ObserveInst implements machine.Timing's exact-mode observation.
+func (mo *Model) ObserveInst(m *machine.Machine, in *isa.Inst) {
+	mo.Observe(m, in)
+}
+
+// CommitBlock implements machine.Timing's batched commit: it charges a
+// whole block's instructions in one call at block exit. The first nLogged
+// instructions already executed, so their dynamic addresses come from the
+// machine's effective-address log; the remainder (the block's final
+// instruction, plus an already-executed register-only compare when the
+// terminator is a fused cmp+jcc) observe live machine state. The charge
+// sequence — every float operation, cache access, and predictor update in
+// order — is identical to per-instruction observation, so cycle totals
+// match bit for bit.
+func (mo *Model) CommitBlock(m *machine.Machine, insts []isa.Inst, nLogged int, eas []uint32) {
+	// The running cycle total stays in a local for the whole block: the
+	// additions happen in the identical order with identical operands, so
+	// the result is bit-equal to accumulating in the field, without the
+	// per-charge load/store traffic.
+	cy := mo.Cycles
+	c := 0
+	for i := 0; i < nLogged; i++ {
+		in := &insts[i]
+		cy = mo.observeFront(in, cy)
+		c, cy = mo.observeMemLogged(in, eas, c, cy)
+	}
+	for i := nLogged; i < len(insts); i++ {
+		in := &insts[i]
+		cy = mo.observeFront(in, cy)
+		cy = mo.observeMem(m, in, cy)
+	}
+	mo.Cycles = cy
+}
+
+// Observe charges cycles for one executed instruction against live
+// machine state.
 func (mo *Model) Observe(m *machine.Machine, in *isa.Inst) {
+	mo.Cycles = mo.observeMem(m, in, mo.observeFront(in, mo.Cycles))
+}
+
+// observeFront charges the state-independent part of one instruction:
+// pending branch resolution, issue bandwidth, instruction fetch, and
+// functional-unit latency. It needs no machine state, so the logged and
+// live observation paths share it verbatim. The cycle total is threaded
+// through cy so block commits keep it in a register.
+func (mo *Model) observeFront(in *isa.Inst, cy float64) float64 {
 	c := &mo.Core
 	mo.Counts.Instrs++
 
@@ -296,30 +411,29 @@ func (mo *Model) Observe(m *machine.Machine, in *isa.Inst) {
 	if mo.lastJccValid {
 		taken := in.Addr == mo.lastJccTarget
 		if mo.Bpred.update(mo.lastJccAddr, taken) {
-			mo.Cycles += c.MispredictPenalty
+			cy += c.MispredictPenalty
 		}
 		mo.lastJccValid = false
 	}
 
 	// Issue bandwidth.
-	mo.Cycles += 1.0 / float64(c.IssueWidth)
+	cy += mo.issueCost
 
 	// Instruction fetch: one I-cache access per line touched.
 	lat := mo.ICache.access(in.Addr)
 	if lat > mo.ICache.cfg.HitLat {
-		mo.Cycles += lat
+		cy += lat
 	} else {
-		mo.Cycles += lat / float64(c.FetchWidth) / 4
+		cy += mo.icHitCost
 	}
 
-	exp := mo.latencyExposure()
 	switch in.Op {
 	case isa.OpMul:
 		mo.Counts.MulDiv++
-		mo.Cycles += 3 * exp / float64(c.IntMulDiv)
+		cy += mo.mulCost
 	case isa.OpDiv:
 		mo.Counts.MulDiv++
-		mo.Cycles += 12 * exp / float64(c.IntMulDiv)
+		cy += mo.divCost
 	case isa.OpJcc:
 		mo.Counts.Branches++
 		mo.Bpred.predict(in.Addr)
@@ -328,35 +442,33 @@ func (mo *Model) Observe(m *machine.Machine, in *isa.Inst) {
 		mo.lastJccAddr = in.Addr
 	case isa.OpCall, isa.OpCallI:
 		mo.Counts.Calls++
-		mo.Cycles += 1 * exp
+		cy += mo.callCost
 	case isa.OpRet, isa.OpBx:
 		if in.Op == isa.OpRet || in.Dst.IsReg(isa.LR) {
 			mo.Counts.Returns++
 			if mo.RATEnabled {
-				mo.Cycles += mo.Core.RATLookup
+				cy += mo.Core.RATLookup
 			}
 		}
 	}
-
-	// Data accesses.
-	mo.observeMem(m, in)
+	return cy
 }
 
-func (mo *Model) observeMem(m *machine.Machine, in *isa.Inst) {
+func (mo *Model) observeMem(m *machine.Machine, in *isa.Inst, cy float64) float64 {
 	charge := func(o isa.Operand, store bool) {
 		if o.Kind != isa.OpdMem {
 			return
 		}
 		ea := effectiveAddr(m, o.Mem)
 		lat := mo.DCache.access(ea)
-		exp := mo.latencyExposure()
+		exp := mo.exp
 		if store {
 			mo.Counts.Stores++
 			// Stores retire through the store queue; latency mostly hidden.
-			mo.Cycles += lat * exp * 0.3
+			cy += lat * exp * 0.3
 		} else {
 			mo.Counts.Loads++
-			mo.Cycles += lat * exp
+			cy += lat * exp
 		}
 	}
 	switch in.Op {
@@ -378,10 +490,10 @@ func (mo *Model) observeMem(m *machine.Machine, in *isa.Inst) {
 	case isa.OpPush:
 		charge(in.Src, false)
 		mo.Counts.Stores++
-		mo.Cycles += mo.DCache.access(m.SP()-4) * mo.latencyExposure() * 0.3
+		cy += mo.DCache.access(m.SP()-4) * mo.exp * 0.3
 	case isa.OpPop, isa.OpRet, isa.OpLeave:
 		mo.Counts.Loads++
-		mo.Cycles += mo.DCache.access(m.SP()) * mo.latencyExposure()
+		cy += mo.DCache.access(m.SP()) * mo.exp
 	case isa.OpPushM, isa.OpPopM:
 		n := 0
 		for r := 0; r < 16; r++ {
@@ -389,8 +501,78 @@ func (mo *Model) observeMem(m *machine.Machine, in *isa.Inst) {
 				n++
 			}
 		}
-		mo.Cycles += float64(n) * mo.DCache.access(m.SP()) * mo.latencyExposure() * 0.5
+		cy += float64(n) * mo.DCache.access(m.SP()) * mo.exp * 0.5
 	}
+	return cy
+}
+
+// observeMemLogged mirrors observeMem with dynamic addresses replayed
+// from the machine's effective-address log (layout: src EA if Src is a
+// memory operand, then dst EA if Dst is one, then pre-exec SP for
+// Op.StackAccess instructions — see isa.Op.StackAccess). Entries the
+// model does not charge (e.g. a lea's address) are still consumed, so the
+// cursor stays aligned with what the machine logged. It returns the
+// advanced cursor.
+func (mo *Model) observeMemLogged(in *isa.Inst, eas []uint32, c int, cy float64) (int, float64) {
+	var srcEA, dstEA, spEA uint32
+	if in.Src.Kind == isa.OpdMem {
+		srcEA = eas[c]
+		c++
+	}
+	if in.Dst.Kind == isa.OpdMem {
+		dstEA = eas[c]
+		c++
+	}
+	if in.Op.StackAccess() {
+		spEA = eas[c]
+		c++
+	}
+	exp := mo.exp
+	switch in.Op {
+	case isa.OpMov, isa.OpLoad, isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpCmp, isa.OpTest, isa.OpMul, isa.OpDiv, isa.OpShl,
+		isa.OpShr, isa.OpNeg, isa.OpNot, isa.OpInc, isa.OpDec:
+		if in.Src.Kind == isa.OpdMem {
+			mo.Counts.Loads++
+			cy += mo.DCache.access(srcEA) * exp
+		}
+		if in.Op == isa.OpMov || in.Op == isa.OpLoad {
+			if in.Dst.Kind == isa.OpdMem {
+				mo.Counts.Stores++
+				cy += mo.DCache.access(dstEA) * exp * 0.3
+			}
+		} else if in.Dst.Kind == isa.OpdMem {
+			// Read-modify-write memory destination: load then store.
+			mo.Counts.Loads++
+			cy += mo.DCache.access(dstEA) * exp
+			mo.Counts.Stores++
+			cy += mo.DCache.access(dstEA) * exp * 0.3
+		}
+	case isa.OpStore:
+		if in.Dst.Kind == isa.OpdMem {
+			mo.Counts.Stores++
+			cy += mo.DCache.access(dstEA) * exp * 0.3
+		}
+	case isa.OpPush:
+		if in.Src.Kind == isa.OpdMem {
+			mo.Counts.Loads++
+			cy += mo.DCache.access(srcEA) * exp
+		}
+		mo.Counts.Stores++
+		cy += mo.DCache.access(spEA-4) * exp * 0.3
+	case isa.OpPop, isa.OpRet, isa.OpLeave:
+		mo.Counts.Loads++
+		cy += mo.DCache.access(spEA) * exp
+	case isa.OpPushM, isa.OpPopM:
+		n := 0
+		for r := 0; r < 16; r++ {
+			if in.RegMask&(1<<r) != 0 {
+				n++
+			}
+		}
+		cy += float64(n) * mo.DCache.access(spEA) * exp * 0.5
+	}
+	return c, cy
 }
 
 func effectiveAddr(m *machine.Machine, r isa.MemRef) uint32 {

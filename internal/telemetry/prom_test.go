@@ -20,6 +20,10 @@ func TestWritePromByteStable(t *testing.T) {
 	r.Counter("dbt.sharedcache.hits").Add(5)
 	r.Counter("dbt.sharedcache.bytes_saved").Add(4096)
 	r.Counter("mem.cow.broken_pages").Add(2)
+	r.Counter("machine.fusion.pairs").Add(11)
+	r.Counter("machine.fusion.blocks.batched").Add(9)
+	r.Counter("machine.fusion.blocks.exact").Add(1)
+	r.Counter("machine.fusion.commits").Add(9)
 	r.Gauge("dbt.cache.x86.occupancy").Set(0.25)
 	r.Gauge("mem.cow.shared_pages").Set(12)
 	h := r.Histogram("dbt.translate.latency_us.x86")
@@ -37,6 +41,14 @@ func TestWritePromByteStable(t *testing.T) {
 		"dbt_translations_arm 3",
 		"# TYPE dbt_translations_x86 counter",
 		"dbt_translations_x86 7",
+		"# TYPE machine_fusion_blocks_batched counter",
+		"machine_fusion_blocks_batched 9",
+		"# TYPE machine_fusion_blocks_exact counter",
+		"machine_fusion_blocks_exact 1",
+		"# TYPE machine_fusion_commits counter",
+		"machine_fusion_commits 9",
+		"# TYPE machine_fusion_pairs counter",
+		"machine_fusion_pairs 11",
 		"# TYPE mem_cow_broken_pages counter",
 		"mem_cow_broken_pages 2",
 		"# TYPE dbt_cache_x86_occupancy gauge",
