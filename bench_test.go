@@ -11,11 +11,13 @@ package hipstr_test
 import (
 	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	"hipstr"
 	"hipstr/internal/attack"
 	"hipstr/internal/dbt"
+	"hipstr/internal/fleet"
 	"hipstr/internal/isa"
 	"hipstr/internal/machine"
 	"hipstr/internal/mem"
@@ -595,4 +597,81 @@ func BenchmarkAblationOnDemandMigration(b *testing.B) {
 		b.ReportMetric(100*on.Fraction(isa.X86), "%safe-ondemand")
 		b.ReportMetric(100*off.Fraction(isa.X86), "%safe-legacy")
 	}
+}
+
+// BenchmarkFleet measures the multi-tenant host end to end: each
+// iteration admits a batch of tenants into a fresh fleet, drains it, and
+// reports requests/sec (tenants retired per second of wall time).
+//
+// single-worker vs workers-max carries the throughput-scaling story; the
+// "max" side always names GOMAXPROCS workers so the recorded figure is
+// stable across machines (on a single-core host the two coincide and
+// the scaling ratio is trivially 1.0 — the multi-core claim must be
+// read on a multi-core runner, as with the parallel engine benches).
+//
+// admit-warm vs admit-cold carries the PR 7 warm-spawn story at fleet
+// scale: tiny step quotas make admission cost dominate, so warm forking
+// from the prototype snapshot (CoW memory + shared unit cache) beats
+// cold per-tenant boots by the snapshot/fork margins.
+func BenchmarkFleet(b *testing.B) {
+	drain := func(b *testing.B, cfg fleet.Config, wl string, guests int) {
+		b.Helper()
+		b.ReportAllocs()
+		var retired, steps uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer() // compile + prototype boot are not admission
+			h := fleet.NewHost(cfg)
+			if err := h.AddWorkload(wl); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			h.Start(ctx)
+			for g := 0; g < guests; g++ {
+				if _, err := h.Admit(wl); err != nil {
+					b.Fatal(err)
+				}
+			}
+			h.Close()
+			if err := h.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			agg := h.Aggregates()
+			retired += agg.Completed + agg.Killed
+			steps += agg.Steps
+		}
+		sec := b.Elapsed().Seconds()
+		b.ReportMetric(float64(retired)/sec, "req/s")
+		b.ReportMetric(float64(steps)/sec, "steps/s")
+	}
+
+	execCfg := func(workers int) fleet.Config {
+		cfg := fleet.DefaultConfig()
+		cfg.Workers = workers
+		cfg.Policy.StepQuota = 50_000
+		cfg.Policy.SliceSteps = 10_000
+		cfg.Policy.WarmupSteps = 20_000
+		return cfg
+	}
+	b.Run("single-worker", func(b *testing.B) {
+		drain(b, execCfg(1), "libquantum", 32)
+	})
+	b.Run("workers-max", func(b *testing.B) {
+		drain(b, execCfg(runtime.GOMAXPROCS(0)), "libquantum", 32)
+	})
+
+	admitCfg := func(cold bool) fleet.Config {
+		cfg := fleet.DefaultConfig()
+		cfg.ColdAdmission = cold
+		cfg.Policy.StepQuota = 1_000
+		cfg.Policy.SliceSteps = 1_000
+		cfg.Policy.WarmupSteps = 50_000
+		return cfg
+	}
+	b.Run("admit-warm", func(b *testing.B) {
+		drain(b, admitCfg(false), "httpd", 64)
+	})
+	b.Run("admit-cold", func(b *testing.B) {
+		drain(b, admitCfg(true), "httpd", 64)
+	})
 }

@@ -14,12 +14,18 @@
 //	        -json BENCH_interp.json -note-before "..." -note-after "..."
 //
 // Check mode replays the benchmarks on the current tree and asserts
-// against the "after" section of a checked-in BENCH_*.json: steps/s (or
-// 1/ns fallback) must stay within -tolerance of the recorded figure, and
-// allocs/op must not exceed the recorded value. CI uses this as the
-// bench smoke gate:
+// against the "after" section of a checked-in BENCH_*.json. The gate is
+// shape-generic: the throughput figure is whatever rate metric the
+// document records (steps_per_sec, requests_per_sec, any *_per_sec, or
+// the inverse of an ns_per_* latency — ns_per_step and ns_per_spawn
+// included), and it must stay within -tolerance of the recorded value;
+// allocs_per_op, when recorded, is a hard ceiling. Recorded names match
+// either the sub-benchmark path after the first '/' or the normalized
+// full name ("BenchmarkSpawn/cold" -> "spawn-cold"), so one gate serves
+// every BENCH document in the repo. CI uses this as the bench smoke gate:
 //
 //	benchab -check BENCH_interp.json -tolerance 0.20
+//	benchab -check BENCH_fleet.json -bench BenchmarkFleet
 package main
 
 import (
@@ -35,13 +41,12 @@ import (
 	"strings"
 )
 
-// Result is one sub-benchmark's figures, matching the BENCH_*.json shape.
-type Result struct {
-	NsPerStep   float64 `json:"ns_per_step"`
-	StepsPerSec float64 `json:"steps_per_sec"`
-	BytesPerOp  uint64  `json:"bytes_per_op"`
-	AllocsPerOp uint64  `json:"allocs_per_op"`
-}
+// Result is one sub-benchmark's figures as canonical metric keys: go
+// test units map via metricKey ("ns/op" -> ns_per_op, "steps/s" ->
+// steps_per_sec, "B/op" -> bytes_per_op, "allocs/op" -> allocs_per_op,
+// any other x/y -> x_per_y). The open map is what lets one check gate
+// every BENCH_*.json shape, custom ReportMetric units included.
+type Result map[string]float64
 
 // Side is the before or after half of a BENCH document.
 type Side struct {
@@ -117,11 +122,11 @@ func runAB(bench, pkg, base, head, benchtime string, rounds int,
 	after := map[string]Result{}
 	for i := 0; i < rounds; i++ {
 		log.Printf("round %d/%d: before (%s)", i+1, rounds, base)
-		if err := runOnce(baseDir, pkg, bench, benchtime, before, env); err != nil {
+		if err := runOnce(baseDir, pkg, bench, benchtime, before, env, nil); err != nil {
 			return fmt.Errorf("before side: %w", err)
 		}
 		log.Printf("round %d/%d: after", i+1, rounds)
-		if err := runOnce(headDir, pkg, bench, benchtime, after, env); err != nil {
+		if err := runOnce(headDir, pkg, bench, benchtime, after, env, nil); err != nil {
 			return fmt.Errorf("after side: %w", err)
 		}
 	}
@@ -141,8 +146,11 @@ func runAB(bench, pkg, base, head, benchtime string, rounds int,
 		doc.After.Commit = shortCommit(head)
 	}
 	for name, b := range before {
-		if a, ok := after[name]; ok && b.StepsPerSec > 0 {
-			doc.Speedup[name] = round2(a.StepsPerSec / b.StepsPerSec)
+		br, _ := rateOf(b)
+		if a, ok := after[name]; ok && br > 0 {
+			if ar, _ := rateOf(a); ar > 0 {
+				doc.Speedup[name] = round2(ar / br)
+			}
 		}
 	}
 	out, err := json.MarshalIndent(doc, "", "  ")
@@ -175,9 +183,10 @@ func runCheck(path, bench, pkg, benchtime string, rounds int, tolerance float64)
 		return fmt.Errorf("%s has no after.results to gate on", path)
 	}
 	got := map[string]Result{}
+	alias := map[string]string{}
 	for i := 0; i < rounds; i++ {
 		log.Printf("round %d/%d", i+1, rounds)
-		if err := runOnce(".", pkg, bench, benchtime, got, nil); err != nil {
+		if err := runOnce(".", pkg, bench, benchtime, got, nil, alias); err != nil {
 			return err
 		}
 	}
@@ -191,28 +200,74 @@ func runCheck(path, bench, pkg, benchtime string, rounds int, tolerance float64)
 		want := doc.After.Results[name]
 		g, ok := got[name]
 		if !ok {
+			// Recorded names may be the normalized full benchmark path
+			// ("spawn-cold" for BenchmarkSpawn/cold) rather than the
+			// short sub-name the parser keys on.
+			if short, ok2 := alias[name]; ok2 {
+				g, ok = got[short]
+			}
+		}
+		if !ok {
 			log.Printf("FAIL %s: benchmark missing from run", name)
 			failed = true
 			continue
 		}
-		floor := want.StepsPerSec * (1 - tolerance)
+		wantRate, rateKey := rateOf(want)
+		gotRate, _ := rateOf(g)
+		floor := wantRate * (1 - tolerance)
+		// The allocs ceiling scales with tolerance, except a recorded 0
+		// stays an exact zero-allocation guarantee.
+		wantAllocs, hasAllocs := want["allocs_per_op"]
+		allocCeil := wantAllocs * (1 + tolerance)
 		switch {
-		case g.AllocsPerOp > want.AllocsPerOp:
-			log.Printf("FAIL %s: %d allocs/op, recorded %d", name, g.AllocsPerOp, want.AllocsPerOp)
+		case hasAllocs && g["allocs_per_op"] > allocCeil:
+			log.Printf("FAIL %s: %.0f allocs/op over ceiling %.0f (recorded %.0f)",
+				name, g["allocs_per_op"], allocCeil, wantAllocs)
 			failed = true
-		case g.StepsPerSec < floor:
-			log.Printf("FAIL %s: %.0f steps/s < floor %.0f (recorded %.0f, tolerance %.0f%%)",
-				name, g.StepsPerSec, floor, want.StepsPerSec, 100*tolerance)
+		case wantRate > 0 && gotRate < floor:
+			log.Printf("FAIL %s: %.0f/s < floor %.0f (recorded %.0f via %s, tolerance %.0f%%)",
+				name, gotRate, floor, wantRate, rateKey, 100*tolerance)
 			failed = true
+		case wantRate <= 0 && !hasAllocs:
+			log.Printf("skip %s: document records neither a rate metric nor an allocs ceiling", name)
 		default:
-			log.Printf("ok   %s: %.2f ns/op, %.0f steps/s (floor %.0f), %d allocs/op",
-				name, g.NsPerStep, g.StepsPerSec, floor, g.AllocsPerOp)
+			log.Printf("ok   %s: %.2f ns/op, %.0f/s (floor %.0f), %.0f allocs/op",
+				name, g["ns_per_op"], gotRate, floor, g["allocs_per_op"])
 		}
 	}
 	if failed {
 		return fmt.Errorf("bench floor check failed against %s", path)
 	}
 	return nil
+}
+
+// rateOf extracts the comparable throughput figure from a result:
+// steps_per_sec, then requests_per_sec, then any other *_per_sec metric
+// (alphabetical, for determinism), then the inverse of any ns_per_*
+// latency (which covers legacy ns_per_step / ns_per_spawn documents).
+// Returns the rate in events/sec and the key that supplied it.
+func rateOf(r Result) (float64, string) {
+	for _, k := range []string{"steps_per_sec", "requests_per_sec"} {
+		if r[k] > 0 {
+			return r[k], k
+		}
+	}
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if strings.HasSuffix(k, "_per_sec") && r[k] > 0 {
+			return r[k], k
+		}
+	}
+	for _, k := range keys {
+		if strings.HasPrefix(k, "ns_per_") && r[k] > 0 {
+			return 1e9 / r[k], k
+		}
+	}
+	return 0, ""
 }
 
 // checkout materialises ref in a temporary git worktree and returns its
@@ -238,7 +293,7 @@ func checkout(ref string) (string, func(), error) {
 // runOnce executes one go test -bench pass in dir, folding each parsed
 // line into best (keeping the minimum-ns/op observation per name) and,
 // when env is non-nil, capturing the goos/goarch/cpu header lines.
-func runOnce(dir, pkg, bench, benchtime string, best map[string]Result, env map[string]string) error {
+func runOnce(dir, pkg, bench, benchtime string, best map[string]Result, env, alias map[string]string) error {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
 		"-benchmem", "-benchtime", benchtime, "-count", "1", pkg)
 	cmd.Dir = dir
@@ -246,7 +301,7 @@ func runOnce(dir, pkg, bench, benchtime string, best map[string]Result, env map[
 	if err != nil {
 		return fmt.Errorf("go test -bench in %s: %v\n%s", dir, err, out)
 	}
-	parseBenchOutput(string(out), best, env)
+	parseBenchOutput(string(out), best, env, alias)
 	return nil
 }
 
@@ -254,8 +309,11 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
 
 // parseBenchOutput folds go test -bench lines into best. Keys are the
 // sub-benchmark path after the first '/' (with the trailing -GOMAXPROCS
-// suffix stripped), or the full name for flat benchmarks.
-func parseBenchOutput(out string, best map[string]Result, env map[string]string) {
+// suffix stripped), or the full name for flat benchmarks. When alias is
+// non-nil it additionally records normalized full names
+// ("BenchmarkSpawn/cold" -> "spawn-cold") mapping to the short keys, so
+// check mode can resolve either spelling in a recorded document.
+func parseBenchOutput(out string, best map[string]Result, env, alias map[string]string) {
 	for _, line := range strings.Split(out, "\n") {
 		line = strings.TrimSpace(line)
 		if env != nil {
@@ -269,7 +327,8 @@ func parseBenchOutput(out string, best map[string]Result, env map[string]string)
 		if m == nil {
 			continue
 		}
-		name := trimProcs(m[1])
+		full := trimProcs(m[1])
+		name := full
 		if i := strings.IndexByte(name, '/'); i >= 0 {
 			name = name[i+1:]
 		}
@@ -277,10 +336,20 @@ func parseBenchOutput(out string, best map[string]Result, env map[string]string)
 		if !ok {
 			continue
 		}
-		if prev, seen := best[name]; !seen || r.NsPerStep < prev.NsPerStep {
+		if prev, seen := best[name]; !seen || r["ns_per_op"] < prev["ns_per_op"] {
 			best[name] = r
 		}
+		if alias != nil {
+			alias[normalizeName(full)] = name
+		}
 	}
+}
+
+// normalizeName flattens a full benchmark path to the document-key
+// convention: Benchmark prefix stripped, lowercased, '/' to '-'.
+func normalizeName(full string) string {
+	s := strings.TrimPrefix(full, "Benchmark")
+	return strings.ToLower(strings.ReplaceAll(s, "/", "-"))
 }
 
 // trimProcs strips the -GOMAXPROCS suffix go test appends to bench names.
@@ -295,32 +364,59 @@ func trimProcs(name string) string {
 	return name[:i]
 }
 
-// parseMetrics reads the "value unit value unit ..." tail of a bench line.
+// parseMetrics reads the "value unit value unit ..." tail of a bench
+// line into canonical keys. A line is accepted only when every value
+// parses and the mandatory ns/op figure is present (it is also the
+// best-of-rounds fold key).
 func parseMetrics(tail string) (Result, bool) {
-	var r Result
+	r := Result{}
 	fields := strings.Fields(tail)
-	ok := false
 	for i := 0; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return r, false
+			return nil, false
 		}
-		switch fields[i+1] {
-		case "ns/op":
-			r.NsPerStep = v
-			ok = true
-		case "steps/s":
-			r.StepsPerSec = v
-		case "B/op":
-			r.BytesPerOp = uint64(v)
-		case "allocs/op":
-			r.AllocsPerOp = uint64(v)
+		r[metricKey(fields[i+1])] = v
+	}
+	if _, ok := r["ns_per_op"]; !ok {
+		return nil, false
+	}
+	return r, true
+}
+
+// metricKey maps a go test unit to its canonical document key. Beyond
+// the four standard units, any x/y unit becomes x_per_y (with a bare /s
+// spelled _per_sec) and hostile characters collapse to underscores, so
+// custom b.ReportMetric units round-trip through documents losslessly
+// enough to gate on.
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "steps/s":
+		return "steps_per_sec"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	case "req/s":
+		return "requests_per_sec"
+	}
+	u := unit
+	if strings.HasSuffix(u, "/s") {
+		u = u[:len(u)-2] + "/sec"
+	}
+	u = strings.ReplaceAll(u, "/", "_per_")
+	u = strings.ReplaceAll(u, "%", "pct_")
+	var b strings.Builder
+	for _, r := range strings.ToLower(u) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
 		}
 	}
-	if ok && r.StepsPerSec == 0 && r.NsPerStep > 0 {
-		r.StepsPerSec = 1e9 / r.NsPerStep
-	}
-	return r, ok
+	return b.String()
 }
 
 func shortCommit(ref string) string {

@@ -10,13 +10,15 @@ BenchmarkInterpreterSteps/x86-4                 	33491311	        34.39 ns/op	  
 BenchmarkInterpreterSteps/x86-observed-4        	22470790	        52.79 ns/op	  18943change steps/s
 BenchmarkInterpreterSteps/arm-4                 	38215176	        31.34 ns/op	  31908077 steps/s	       0 B/op	       0 allocs/op
 BenchmarkFlat-4                                 	  100000	       475.70 ns/op	     112 B/op	       2 allocs/op
+BenchmarkFleet/workers-max-4                    	       5	 212000000 ns/op	       321.5 req/s	  400000 B/op	    2100 allocs/op
 PASS
 `
 
 func TestParseBenchOutput(t *testing.T) {
 	best := map[string]Result{}
 	env := map[string]string{}
-	parseBenchOutput(sampleOutput, best, env)
+	alias := map[string]string{}
+	parseBenchOutput(sampleOutput, best, env, alias)
 
 	if env["goos"] != "linux" || env["goarch"] != "amd64" ||
 		env["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
@@ -26,33 +28,49 @@ func TestParseBenchOutput(t *testing.T) {
 	if !ok {
 		t.Fatalf("x86 result missing: %v", best)
 	}
-	if x86.NsPerStep != 34.39 || x86.StepsPerSec != 29076476 ||
-		x86.BytesPerOp != 0 || x86.AllocsPerOp != 0 {
+	if x86["ns_per_op"] != 34.39 || x86["steps_per_sec"] != 29076476 ||
+		x86["bytes_per_op"] != 0 || x86["allocs_per_op"] != 0 {
 		t.Fatalf("x86 parsed wrong: %+v", x86)
 	}
 	if _, ok := best["x86-observed"]; ok {
 		t.Fatal("malformed line should be skipped, not folded in")
 	}
-	// A flat benchmark keys on its full (procs-stripped) name and derives
-	// steps/s from ns/op when the metric is absent.
+	// A flat benchmark keys on its full (procs-stripped) name; its rate
+	// derives from ns/op since no explicit rate metric was reported.
 	flat, ok := best["BenchmarkFlat"]
 	if !ok {
 		t.Fatalf("flat result missing: %v", best)
 	}
-	if flat.AllocsPerOp != 2 || flat.BytesPerOp != 112 {
+	if flat["allocs_per_op"] != 2 || flat["bytes_per_op"] != 112 {
 		t.Fatalf("flat allocs parsed wrong: %+v", flat)
 	}
-	if flat.StepsPerSec < 2_102_165 || flat.StepsPerSec > 2_102_166 {
-		t.Fatalf("steps/s fallback wrong: %v", flat.StepsPerSec)
+	if rate, key := rateOf(flat); key != "ns_per_op" ||
+		rate < 2_102_165 || rate > 2_102_166 {
+		t.Fatalf("flat rate fallback wrong: %v via %q", rate, key)
+	}
+	// Custom units map to canonical keys; req/s is a first-class rate.
+	fl := best["workers-max"]
+	if fl["requests_per_sec"] != 321.5 {
+		t.Fatalf("req/s not parsed: %+v", fl)
+	}
+	if rate, key := rateOf(fl); key != "requests_per_sec" || rate != 321.5 {
+		t.Fatalf("fleet rate selection wrong: %v via %q", rate, key)
+	}
+	// Normalized full names land in the alias table for check mode.
+	if alias["fleet-workers-max"] != "workers-max" {
+		t.Fatalf("alias table wrong: %v", alias)
+	}
+	if alias["interpretersteps-x86"] != "x86" {
+		t.Fatalf("alias table wrong: %v", alias)
 	}
 }
 
 func TestParseBenchOutputKeepsBest(t *testing.T) {
 	best := map[string]Result{}
-	parseBenchOutput("BenchmarkX/a-4 10 50.0 ns/op\n", best, nil)
-	parseBenchOutput("BenchmarkX/a-4 10 40.0 ns/op\n", best, nil)
-	parseBenchOutput("BenchmarkX/a-4 10 60.0 ns/op\n", best, nil)
-	if got := best["a"].NsPerStep; got != 40.0 {
+	parseBenchOutput("BenchmarkX/a-4 10 50.0 ns/op\n", best, nil, nil)
+	parseBenchOutput("BenchmarkX/a-4 10 40.0 ns/op\n", best, nil, nil)
+	parseBenchOutput("BenchmarkX/a-4 10 60.0 ns/op\n", best, nil, nil)
+	if got := best["a"]["ns_per_op"]; got != 40.0 {
 		t.Fatalf("best ns/op = %v, want 40.0", got)
 	}
 }
@@ -66,6 +84,61 @@ func TestTrimProcs(t *testing.T) {
 	for in, want := range cases {
 		if got := trimProcs(in); got != want {
 			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetricKey(t *testing.T) {
+	cases := map[string]string{
+		"ns/op":         "ns_per_op",
+		"steps/s":       "steps_per_sec",
+		"B/op":          "bytes_per_op",
+		"allocs/op":     "allocs_per_op",
+		"req/s":         "requests_per_sec",
+		"spawns/s":      "spawns_per_sec",
+		"blk-hit":       "blk_hit",
+		"%obfuscated":   "pct_obfuscated",
+		"us-x86-to-arm": "us_x86_to_arm",
+	}
+	for in, want := range cases {
+		if got := metricKey(in); got != want {
+			t.Errorf("metricKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRateOfLegacyShapes pins the rate extraction against the recorded
+// document shapes already in the repo: interp (steps_per_sec), spawn
+// (ns_per_spawn only), and a rate-less doc.
+func TestRateOfLegacyShapes(t *testing.T) {
+	interp := Result{"ns_per_step": 9.084, "steps_per_sec": 110078371, "allocs_per_op": 0}
+	if v, k := rateOf(interp); k != "steps_per_sec" || v != 110078371 {
+		t.Fatalf("interp shape: %v via %q", v, k)
+	}
+	spawn := Result{"ns_per_spawn": 2e6, "bytes_per_op": 7e6, "allocs_per_op": 6857}
+	v, k := rateOf(spawn)
+	if k != "ns_per_spawn" || v != 500 {
+		t.Fatalf("spawn shape: %v via %q (want 500 spawns/s)", v, k)
+	}
+	custom := Result{"events_per_sec": 42}
+	if v, k := rateOf(custom); k != "events_per_sec" || v != 42 {
+		t.Fatalf("custom *_per_sec: %v via %q", v, k)
+	}
+	if v, k := rateOf(Result{"bytes_per_op": 5}); v != 0 || k != "" {
+		t.Fatalf("rate-less shape must return 0: %v via %q", v, k)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSpawn/cold":            "spawn-cold",
+		"BenchmarkRespawn/from-snapshot": "respawn-from-snapshot",
+		"BenchmarkFleet/admit-warm":      "fleet-admit-warm",
+		"BenchmarkFlat":                  "flat",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
 		}
 	}
 }

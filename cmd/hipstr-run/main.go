@@ -39,6 +39,7 @@ func main() {
 	timelineOut := flag.String("timeline-out", "", "write the span timeline as Chrome trace JSON (open in ui.perfetto.dev)")
 	interval := flag.Uint64("report-interval", 10_000_000, "print live stats every N instructions (0 = only at exit)")
 	listen := flag.String("listen", "", "serve live observability endpoints on this address (e.g. 127.0.0.1:9120)")
+	linger := flag.Bool("linger", true, "with -listen, keep serving after the run until Ctrl-C (use -linger=false for scripted runs)")
 	profileOut := flag.String("profile-out", "", "write folded flamegraph stacks of the guest-cycle profile to this file")
 	profileInterval := flag.Uint64("profile-interval", profiler.DefaultInterval, "guest-cycle sampling period in instructions")
 	flag.Parse()
@@ -318,9 +319,10 @@ func main() {
 	}
 
 	// Linger so late scrapers (dashboards, CI curl loops) can read the
-	// final state; Ctrl-C / SIGTERM exits gracefully.
+	// final state; Ctrl-C / SIGTERM exits gracefully, and -linger=false
+	// skips the wait entirely for scripted runs.
 	if srv != nil {
-		if ctx.Err() == nil {
+		if *linger && ctx.Err() == nil {
 			fmt.Printf("run complete; observability server still on http://%s/ (Ctrl-C to exit)\n", srv.Addr())
 			<-ctx.Done()
 		}

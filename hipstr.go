@@ -41,6 +41,7 @@ import (
 	"hipstr/internal/dbt"
 	"hipstr/internal/experiments"
 	"hipstr/internal/fatbin"
+	"hipstr/internal/fleet"
 	"hipstr/internal/gadget"
 	"hipstr/internal/isa"
 	"hipstr/internal/migrate"
@@ -253,6 +254,51 @@ type TelemetryPump = obsrv.Pump
 // observability endpoints (call Serve to start, Shutdown to stop).
 func NewObservabilityServer(addr string, o ObservabilityOptions) (*ObservabilityServer, error) {
 	return obsrv.New(addr, o)
+}
+
+// Fleet is a multi-tenant host: it admits guest VMs forked from
+// per-workload prototype snapshots (warm admission) and executes them on
+// a bounded work-stealing worker pool under per-tenant policy (step and
+// cache quotas, migration probability, kill/respawn under attack).
+//
+//	h := hipstr.NewFleet(hipstr.FleetDefaults())
+//	h.AddWorkload("libquantum")
+//	h.Start(ctx)
+//	id, _ := h.Admit("libquantum")
+//	h.Close()
+//	h.Wait()
+type Fleet = fleet.Host
+
+// FleetConfig configures a Fleet (worker count, defense mode, seed,
+// default tenant policy, warm vs cold admission).
+type FleetConfig = fleet.Config
+
+// FleetPolicy is the per-tenant resource and defense policy.
+type FleetPolicy = fleet.Policy
+
+// FleetAggregates is a point-in-time summary of fleet progress.
+type FleetAggregates = fleet.Aggregates
+
+// FleetTenant is one admitted guest's handle (state, digest, steps,
+// latency).
+type FleetTenant = fleet.Tenant
+
+// FleetDefaults returns the default fleet configuration: GOMAXPROCS
+// workers, HIPStR mode, warm admission, and the default tenant policy.
+func FleetDefaults() FleetConfig { return fleet.DefaultConfig() }
+
+// NewFleet creates a fleet host; call AddWorkload for each profile
+// tenants will run, then Start before Admit.
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.NewHost(cfg) }
+
+// Arrivals is a seeded open-loop Poisson arrival generator for fleet
+// traffic (deterministic per seed).
+type Arrivals = workload.Arrivals
+
+// NewArrivals returns an arrival generator targeting ratePerSec
+// admissions per second (rate <= 0 means back-to-back, zero gaps).
+func NewArrivals(seed int64, ratePerSec float64) *Arrivals {
+	return workload.NewArrivals(seed, ratePerSec)
 }
 
 // Process is an unprotected native process (the baseline).

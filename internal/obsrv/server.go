@@ -18,11 +18,34 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"hipstr/internal/profiler"
 	"hipstr/internal/telemetry"
 )
+
+// TenantInfo is one guest's scheduling summary in the fleet drill-down:
+// identity, lifecycle state, and the numeric fields the host tracks per
+// tenant (steps, slices, respawns, latency, ...).
+type TenantInfo struct {
+	ID       string             `json:"id"`
+	Workload string             `json:"workload"`
+	State    string             `json:"state"`
+	Fields   map[string]float64 `json:"fields,omitempty"`
+}
+
+// TenantSource supplies the fleet drill-down endpoints. Implementations
+// must be safe to call from HTTP handler goroutines while the fleet is
+// executing (the fleet host serializes against the owning worker per
+// tenant).
+type TenantSource interface {
+	// TenantList returns a summary of every tenant, stably ordered.
+	TenantList() []TenantInfo
+	// TenantSnapshot returns one tenant's summary plus its full private
+	// telemetry snapshot; ok=false when the id is unknown.
+	TenantSnapshot(id string) (TenantInfo, telemetry.Snapshot, bool)
+}
 
 // Options configures the endpoints. Nil fields disable their endpoints
 // (404 for /profile, 503 for /metrics and /stats.json, empty stream for
@@ -39,6 +62,10 @@ type Options struct {
 	Spans *telemetry.SpanTracer
 	// Profile supplies the live profiler report for /profile.
 	Profile func() (profiler.Report, bool)
+	// Tenants, when set, serves the multi-tenant fleet drill-down:
+	// /tenants lists every guest's summary, /tenants/{id} adds the
+	// tenant's full private telemetry snapshot.
+	Tenants TenantSource
 	// Health, when set, contributes a detail line to /healthz.
 	Health func() string
 	// SSEBuffer overrides the per-subscriber ring capacity (tests).
@@ -81,6 +108,7 @@ func NewHandler(o Options) (http.Handler, *EventHub) {
 			"/events       live trace stream (SSE)\n"+
 			"/timeline     span ring as Chrome trace JSON (ui.perfetto.dev)\n"+
 			"/profile      sampling profiler (?format=folded|top|json, ?n=N)\n"+
+			"/tenants      fleet drill-down (list; /tenants/{id} for one guest)\n"+
 			"/healthz      liveness\n"+
 			"/debug/pprof  simulator self-profiling\n")
 	})
@@ -146,6 +174,35 @@ func NewHandler(o Options) (http.Handler, *EventHub) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		telemetry.WriteChromeTrace(w, o.Spans.Spans(), events)
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		if o.Tenants == nil {
+			http.Error(w, "no fleet attached (run under hipstr-fleet)", http.StatusNotFound)
+			return
+		}
+		list := o.Tenants.TenantList()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Count   int          `json:"count"`
+			Tenants []TenantInfo `json:"tenants"`
+		}{len(list), list})
+	})
+	mux.HandleFunc("/tenants/", func(w http.ResponseWriter, r *http.Request) {
+		if o.Tenants == nil {
+			http.Error(w, "no fleet attached (run under hipstr-fleet)", http.StatusNotFound)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/tenants/")
+		info, snap, ok := o.Tenants.TenantSnapshot(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown tenant %q", id), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Tenant  TenantInfo         `json:"tenant"`
+			Metrics telemetry.Snapshot `json:"metrics"`
+		}{info, snap})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

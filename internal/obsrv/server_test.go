@@ -69,6 +69,86 @@ func TestEndpoints(t *testing.T) {
 	}
 }
 
+// fakeTenants is a minimal TenantSource: two fixed guests, one with a
+// private registry carrying a single counter.
+type fakeTenants struct{ reg *telemetry.Registry }
+
+func (f *fakeTenants) TenantList() []obsrv.TenantInfo {
+	return []obsrv.TenantInfo{
+		{ID: "1", Workload: "libquantum", State: "done",
+			Fields: map[string]float64{"steps": 40000, "respawns": 1}},
+		{ID: "2", Workload: "httpd", State: "running"},
+	}
+}
+
+func (f *fakeTenants) TenantSnapshot(id string) (obsrv.TenantInfo, telemetry.Snapshot, bool) {
+	if id != "1" {
+		return obsrv.TenantInfo{}, telemetry.Snapshot{}, false
+	}
+	return f.TenantList()[0], f.reg.Snapshot(), true
+}
+
+func TestTenantEndpoints(t *testing.T) {
+	tel := telemetry.New()
+	src := &fakeTenants{reg: telemetry.NewRegistry()}
+	src.reg.Counter("dbt.translations.x86").Add(7)
+	opts := testOptions(tel)
+	opts.Tenants = src
+	h, _ := obsrv.NewHandler(opts)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/tenants")
+	if code != 200 {
+		t.Fatalf("/tenants = %d", code)
+	}
+	if !strings.Contains(body, `"count": 2`) && !strings.Contains(body, `"count":2`) {
+		t.Errorf("/tenants missing count:\n%s", body)
+	}
+	for _, want := range []string{`"libquantum"`, `"httpd"`, `"running"`, `"steps"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/tenants missing %s:\n%s", want, body)
+		}
+	}
+	code, body = get("/tenants/1")
+	if code != 200 {
+		t.Fatalf("/tenants/1 = %d", code)
+	}
+	if !strings.Contains(body, `"dbt.translations.x86":7`) {
+		t.Errorf("/tenants/1 missing private counter:\n%s", body)
+	}
+	if !strings.Contains(body, `"respawns"`) {
+		t.Errorf("/tenants/1 missing tenant fields:\n%s", body)
+	}
+	if code, _ := get("/tenants/99"); code != http.StatusNotFound {
+		t.Errorf("/tenants/99 = %d, want 404", code)
+	}
+
+	// Without a source the drill-down is absent, not empty.
+	h2, _ := obsrv.NewHandler(testOptions(tel))
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/tenants without source = %d, want 404", resp.StatusCode)
+	}
+}
+
 func TestMetricsBeforeFirstPublish(t *testing.T) {
 	var pump obsrv.Pump
 	h, _ := obsrv.NewHandler(obsrv.Options{Snapshot: pump.Latest})

@@ -147,6 +147,27 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the running sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Snapshot returns a point-in-time view of the histogram. Safe from any
+// goroutine (all fields are atomics); concurrent observers may land in
+// or out of the view, as with any monitoring read.
+func (h *Histogram) Snapshot() HistSnapshot {
+	hs := HistSnapshot{Count: h.count.Load(), Sum: h.Sum()}
+	if hs.Count > 0 {
+		hs.Min = math.Float64frombits(h.minBits.Load())
+		hs.Max = math.Float64frombits(h.maxBits.Load())
+		hs.Mean = hs.Sum / float64(hs.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{UpperBound: BucketUpperBound(i), Count: n})
+		}
+	}
+	sort.Slice(hs.Buckets, func(a, b int) bool {
+		return hs.Buckets[a].UpperBound < hs.Buckets[b].UpperBound
+	})
+	return hs
+}
+
 // Bucket is one non-empty histogram bucket in a snapshot.
 type Bucket struct {
 	UpperBound float64 `json:"le"`
@@ -392,21 +413,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistSnapshot{Count: h.Count(), Sum: h.Sum()}
-		if hs.Count > 0 {
-			hs.Min = math.Float64frombits(h.minBits.Load())
-			hs.Max = math.Float64frombits(h.maxBits.Load())
-			hs.Mean = hs.Sum / float64(hs.Count)
-		}
-		for i := range h.buckets {
-			if n := h.buckets[i].Load(); n > 0 {
-				hs.Buckets = append(hs.Buckets, Bucket{UpperBound: BucketUpperBound(i), Count: n})
-			}
-		}
-		sort.Slice(hs.Buckets, func(a, b int) bool {
-			return hs.Buckets[a].UpperBound < hs.Buckets[b].UpperBound
-		})
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }
