@@ -4,10 +4,26 @@
 // executed on a work-stealing worker pool under per-tenant policy
 // (step quotas, migration probability, kill/respawn under attack).
 //
+// A health monitor watches the fleet while it runs: aggregate metrics are
+// sampled into a rolling history ring every -health-interval, the
+// built-in SLO/anomaly rules (respawn storms, attack waves, latency SLO
+// burn, injector starvation) are evaluated against it, and each rule
+// firing captures an incident flight-recorder bundle — triggering series
+// window, recent trace events, top offender tenants, host config — kept
+// in memory, served over HTTP, and (with -incident-dir) dumped as JSON
+// artifacts.
+//
 // With -listen it serves the observability endpoints plus the fleet
 // drill-down: /metrics carries fleet_* aggregates and per-tenant series,
 // /tenants lists every guest, /tenants/{id} adds one guest's private
-// telemetry snapshot.
+// telemetry snapshot, /history serves the metric history, /incidents the
+// flight recorder, and /readyz reports ready only once every workload
+// prototype is booted and warmed. cmd/hipstr-top renders all of it as a
+// live terminal console.
+//
+// SIGINT drains gracefully: admission stops, workers finish their
+// in-flight slices, and the final -metrics-out snapshot and incident
+// artifacts are still written before exit.
 package main
 
 import (
@@ -25,6 +41,7 @@ import (
 
 	"hipstr/internal/core"
 	"hipstr/internal/fleet"
+	"hipstr/internal/health"
 	"hipstr/internal/obsrv"
 	"hipstr/internal/telemetry"
 	"hipstr/internal/workload"
@@ -49,6 +66,10 @@ func main() {
 	linger := flag.Bool("linger", false, "with -listen, keep serving after the drain until Ctrl-C")
 	metricsOut := flag.String("metrics-out", "", "write the final aggregate metrics snapshot as JSON to this file")
 	report := flag.Duration("report", 2*time.Second, "print a fleet status line this often (0 = none)")
+	healthIv := flag.Duration("health-interval", 250*time.Millisecond, "health monitor sampling interval (0 = health engine off)")
+	healthWindow := flag.Int("health-window", 0, "history ring size in samples (0 = default)")
+	incidentDir := flag.String("incident-dir", "", "dump each incident flight-recorder bundle as JSON into this directory")
+	settle := flag.Duration("incident-settle", 5*time.Second, "after the drain, keep sampling up to this long so open incidents can resolve")
 	flag.Parse()
 
 	cfg := fleet.DefaultConfig()
@@ -75,14 +96,33 @@ func main() {
 	defer stop()
 
 	h := fleet.NewHost(cfg)
-	names := strings.Split(*workloads, ",")
-	for _, n := range names {
-		n = strings.TrimSpace(n)
-		if err := h.AddWorkload(n); err != nil {
-			log.Fatal(err)
-		}
+
+	// The health engine: rolling history + built-in fleet rules + the
+	// incident flight recorder, fed off the scrape-safe aggregate
+	// registry by a dedicated sampling goroutine.
+	var mon *health.Monitor
+	if *healthIv > 0 || *incidentDir != "" {
+		mon = health.NewMonitor(health.Config{
+			WindowSamples: *healthWindow,
+			Rules:         fleet.DefaultHealthRules(),
+			Telemetry:     h.Telemetry(),
+			Recorder: health.RecorderConfig{
+				Events:  h.Telemetry().Trace.Tail,
+				Tenants: h,
+				Dir:     *incidentDir,
+				HostConfig: map[string]any{
+					"workloads": *workloads, "guests": *guests, "rate": *rate,
+					"workers": cfg.Workers, "mode": *mode, "seed": *seed,
+					"slice": *slice, "quota": *quota,
+					"attack_prob": *attackProb, "respawn_limit": *respawnLimit,
+					"cold": *cold,
+				},
+			},
+		})
 	}
 
+	// Serve before the prototypes boot so /healthz answers immediately
+	// and /readyz honestly reports the warmup window.
 	var srv *obsrv.Server
 	if *listen != "" {
 		snapFn := func() (telemetry.Snapshot, bool) {
@@ -97,16 +137,59 @@ func main() {
 				return fmt.Sprintf("fleet: %d active, %d/%d retired",
 					a.Active, a.Completed+a.Killed, a.Admitted)
 			},
+			Ready: func() (bool, string) {
+				if !h.Ready() {
+					return false, "fleet prototypes still warming"
+				}
+				return true, "fleet prototypes warmed"
+			},
+		}
+		if mon != nil {
+			opts.History = mon.HistoryHandler()
+			opts.Incidents = mon.Recorder.Handler()
 		}
 		var err error
 		srv, err = obsrv.New(*listen, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("observability: serving http://%s/ (metrics, tenants, stats.json)\n", srv.Addr())
+		fmt.Printf("observability: serving http://%s/ (metrics, tenants, history, incidents)\n", srv.Addr())
 		go func() {
 			if err := srv.Serve(); err != nil && err != http.ErrServerClosed {
 				log.Printf("observability: %v", err)
+			}
+		}()
+	}
+
+	names := strings.Split(*workloads, ",")
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+		if err := h.AddWorkload(names[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	h.MarkReady()
+
+	// The monitor samples on its own ticker: fleet collectors read only
+	// atomics, so snapshotting off the worker goroutines is safe.
+	monQuit := make(chan struct{})
+	monDone := make(chan struct{})
+	if mon != nil {
+		iv := *healthIv
+		if iv <= 0 {
+			iv = 250 * time.Millisecond
+		}
+		go func() {
+			defer close(monDone)
+			tick := time.NewTicker(iv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					mon.ObserveNow(h.Telemetry().Snapshot())
+				case <-monQuit:
+					return
+				}
 			}
 		}()
 	}
@@ -122,10 +205,14 @@ func main() {
 				select {
 				case <-rep.C:
 					a := h.Aggregates()
-					fmt.Printf("fleet: admitted %d  active %d (peak %d)  done %d  rps %.0f  p99 %.0fms  steals %d  respawns %d\n",
+					open := 0
+					if mon != nil {
+						open = mon.OpenIncidents()
+					}
+					fmt.Printf("fleet: admitted %d  active %d (peak %d)  done %d  rps %.0f  p99 %.0fms  steals %d  respawns %d  incidents open %d\n",
 						a.Admitted, a.Active, a.ActivePeak,
 						a.Completed+a.Killed, a.RPS,
-						a.LatencyP99us/1000, a.Steals, a.Respawns)
+						a.LatencyP99us/1000, a.Steals, a.Respawns, open)
 				case <-done:
 					return
 				}
@@ -156,8 +243,28 @@ func main() {
 		}
 	}
 	h.Close()
-	if err := h.Wait(); err != nil && admitted == *guests {
-		log.Printf("fleet: %v", err)
+	if err := h.Wait(); err != nil {
+		if admitted == *guests {
+			log.Printf("fleet: %v", err)
+		} else {
+			fmt.Printf("interrupted: admission stopped at %d/%d, in-flight slices finished\n",
+				admitted, *guests)
+		}
+	}
+
+	// Let open incidents resolve (a storm's rate decays to zero once the
+	// drain ends) so the final artifacts carry closed lifecycles; an
+	// interrupt skips the settle.
+	if mon != nil {
+		if *settle > 0 && ctx.Err() == nil {
+			deadline := time.Now().Add(*settle)
+			for mon.OpenIncidents() > 0 && time.Now().Before(deadline) {
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		close(monQuit)
+		<-monDone
+		mon.ObserveNow(h.Telemetry().Snapshot())
 	}
 
 	a := h.Aggregates()
@@ -169,6 +276,16 @@ func main() {
 		a.LatencyP50us/1000, a.LatencyP99us/1000)
 	fmt.Printf("  defense: %d breaches, %d respawns, %d migrations\n",
 		a.Breaches, a.Respawns, a.Migrations)
+	if mon != nil {
+		opened, resolved, _ := mon.Recorder.Counts()
+		fmt.Printf("  health: %d incidents opened, %d resolved, %d still open\n",
+			opened, resolved, opened-resolved)
+		if err := mon.Recorder.DumpErr(); err != nil {
+			log.Printf("incident artifacts: %v", err)
+		} else if *incidentDir != "" && opened > 0 {
+			fmt.Printf("  incident bundles written to %s\n", *incidentDir)
+		}
+	}
 
 	if *metricsOut != "" {
 		buf, err := json.MarshalIndent(h.Telemetry().Snapshot(), "", "  ")

@@ -17,10 +17,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hipstr"
+	"hipstr/internal/health"
 	"hipstr/internal/isa"
 	"hipstr/internal/machine"
 	"hipstr/internal/obsrv"
@@ -208,8 +210,41 @@ func main() {
 	// serve the latest published copy.
 	var pump obsrv.Pump
 	var srv *obsrv.Server
+	// The health engine rides the pump: every published snapshot also
+	// lands in the rolling history ring and is evaluated against the
+	// single-VM rule set, so /history and /incidents work on one guest
+	// exactly as they do on a fleet.
+	var mon *health.Monitor
 	if *listen != "" {
-		opts := obsrv.Options{Snapshot: pump.Latest, Tracer: tel.Trace, Spans: spans}
+		rcfg := health.RecorderConfig{Events: tel.Trace.Tail}
+		if spans != nil {
+			rcfg.Spans = spans.Tail
+		}
+		if prof != nil {
+			rcfg.Profile = func() (string, bool) {
+				var b strings.Builder
+				if err := prof.Report().WriteTop(&b, 10); err != nil {
+					return "", false
+				}
+				return b.String(), true
+			}
+		}
+		rcfg.HostConfig = map[string]any{
+			"workload": *name, "mode": *mode, "isa": *isaName,
+			"steps": *steps, "seed": *seed,
+		}
+		mon = health.NewMonitor(health.Config{
+			Rules:     health.VMRules(),
+			Telemetry: tel,
+			Recorder:  rcfg,
+		})
+		opts := obsrv.Options{
+			Snapshot:  pump.Latest,
+			Tracer:    tel.Trace,
+			Spans:     spans,
+			History:   mon.HistoryHandler(),
+			Incidents: mon.Recorder.Handler(),
+		}
 		if prof != nil {
 			opts.Profile = func() (profiler.Report, bool) { return prof.Report(), true }
 		}
@@ -247,6 +282,9 @@ func main() {
 			if srv != nil {
 				pump.Publish(snap)
 			}
+			if mon != nil {
+				mon.ObserveNow(snap)
+			}
 			if due {
 				reportLive(*mode, startISA.String(), total, snap, snap.Delta(prev))
 				prev = snap
@@ -266,7 +304,15 @@ func main() {
 	}
 	finish()
 	if srv != nil {
-		pump.Publish(tel.Snapshot())
+		snap := tel.Snapshot()
+		pump.Publish(snap)
+		if mon != nil {
+			mon.ObserveNow(snap)
+			if opened, resolved, _ := mon.Recorder.Counts(); opened > 0 {
+				fmt.Printf("health: %d incidents opened, %d resolved (see /incidents)\n",
+					opened, resolved)
+			}
+		}
 	}
 
 	if prof != nil {

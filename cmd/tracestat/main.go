@@ -19,11 +19,16 @@
 // cycles, modeled cost), and with -chrome re-exports the whole trace as
 // Chrome trace-event JSON loadable in ui.perfetto.dev.
 //
+// With -incidents, tracestat instead summarizes a health-engine
+// -incident-dir of flight-recorder bundles: one row per incident with
+// its rule, state, duration, peak measure, and top offender tenants.
+//
 // Usage:
 //
 //	tracestat [-folded out.folded] [-chrome out.json] [-top N] trace.jsonl
+//	tracestat -incidents <dir>
 //
-// The input may be "-" for stdin.
+// The trace input may be "-" for stdin.
 package main
 
 import (
@@ -59,9 +64,16 @@ func main() {
 	folded := flag.String("folded", "", "write flamegraph folded stacks to this file")
 	chrome := flag.String("chrome", "", "re-export the trace as Chrome trace-event JSON to this file")
 	top := flag.Int("top", 0, "limit per-phase rows to the N highest-cost phases (0 = all)")
+	incidents := flag.String("incidents", "", "summarize a health-engine incident dir instead of a trace")
 	flag.Parse()
+	if *incidents != "" {
+		if err := summarizeIncidents(*incidents, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracestat [-folded out.folded] [-chrome out.json] [-top N] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-folded out.folded] [-chrome out.json] [-top N] trace.jsonl | tracestat -incidents <dir>")
 		os.Exit(2)
 	}
 

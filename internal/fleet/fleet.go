@@ -256,6 +256,7 @@ type Host struct {
 	active  atomic.Int64
 	peak    atomic.Int64
 	closed  atomic.Bool
+	ready   atomic.Bool
 	started bool
 	startNS atomic.Int64
 	endNS   atomic.Int64
@@ -336,6 +337,14 @@ func NewHost(cfg Config) *Host {
 
 // Telemetry returns the host's aggregate registry.
 func (h *Host) Telemetry() *telemetry.Telemetry { return h.tel }
+
+// MarkReady flips the readiness gate. The driver calls it once every
+// AddWorkload has booted and warmed its prototype, so /readyz stops
+// refusing traffic exactly when admissions can be served warm.
+func (h *Host) MarkReady() { h.ready.Store(true) }
+
+// Ready reports whether the host's prototypes are warmed (MarkReady).
+func (h *Host) Ready() bool { return h.ready.Load() }
 
 // forkConfig is the per-tenant fork envelope: private telemetry with a
 // small event ring (the fleet-scale memory bound).
@@ -575,6 +584,13 @@ func (h *Host) sliceLocked(t *Tenant) bool {
 // unless the tenant has exhausted its respawn budget. Returns true when
 // the tenant was retired instead of respawned. Caller holds t.mu.
 func (h *Host) breachLocked(t *Tenant, reason string) bool {
+	// The event tap: breaches, respawns, and kills land in the aggregate
+	// trace ring so /events and incident flight-recorder bundles carry
+	// the per-tenant context of a storm, not just its counters.
+	h.tel.Emit(telemetry.Event{
+		Type:   telemetry.EvSecurity,
+		Detail: fmt.Sprintf("tenant %d (%s): %s", t.id, t.workload, reason),
+	})
 	if t.respawns >= t.policy.RespawnLimit {
 		return h.finalizeLocked(t, tenantKilled, "respawn limit: "+reason)
 	}
@@ -590,6 +606,10 @@ func (h *Host) breachLocked(t *Tenant, reason string) bool {
 	t.sys = sys
 	t.lifeSteps = 0
 	h.cRespawns.Inc()
+	h.tel.Emit(telemetry.Event{
+		Type:   telemetry.EvRespawn,
+		Detail: fmt.Sprintf("tenant %d (%s): life %d", t.id, t.workload, t.respawns+1),
+	})
 	return false
 }
 
@@ -612,6 +632,10 @@ func (h *Host) finalizeLocked(t *Tenant, st int32, msg string) bool {
 		h.cCompleted.Inc()
 	} else {
 		h.cKilled.Inc()
+		h.tel.Emit(telemetry.Event{
+			Type:   telemetry.EvKill,
+			Detail: fmt.Sprintf("tenant %d (%s): %s", t.id, t.workload, msg),
+		})
 	}
 	h.active.Add(-1)
 	h.publishTenantSeries(t)

@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hipstr/internal/health"
+)
+
+// monitorHost runs a libquantum fleet with a health monitor sampling its
+// aggregate registry every interval from a dedicated goroutine (the
+// hipstr-fleet wiring in miniature), keeps sampling after the drain until
+// stop returns true or the deadline passes, and returns the host+monitor.
+func monitorHost(t *testing.T, cfg Config, n int, interval time.Duration,
+	settle time.Duration, stop func(*health.Monitor) bool) (*Host, *health.Monitor) {
+	t.Helper()
+	h := NewHost(cfg)
+	mon := health.NewMonitor(health.Config{
+		Rules:     DefaultHealthRules(),
+		Telemetry: h.Telemetry(),
+		Recorder: health.RecorderConfig{
+			Events:  h.Telemetry().Trace.Tail,
+			Tenants: h,
+		},
+	})
+	if err := h.AddWorkload("libquantum"); err != nil {
+		t.Fatalf("AddWorkload: %v", err)
+	}
+	h.MarkReady()
+	h.Start(context.Background())
+	for i := 0; i < n; i++ {
+		if _, err := h.Admit("libquantum"); err != nil {
+			t.Fatalf("Admit %d: %v", i, err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(settle)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for range tick.C {
+			mon.ObserveNow(h.Telemetry().Snapshot())
+			if time.Now().After(deadline) || stop(mon) {
+				return
+			}
+		}
+	}()
+
+	h.Close()
+	if err := h.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	<-done
+	return h, mon
+}
+
+// TestFleetRespawnStormIncident is the health engine's end-to-end
+// acceptance: a fleet under heavy attack injection must open the built-in
+// respawn-storm incident with offender tenants and the triggering series
+// window, and resolve it once the storm decays out of the rate window.
+func TestFleetRespawnStormIncident(t *testing.T) {
+	cfg := quotaConfig(4)
+	cfg.Policy.AttackProb = 0.9
+	cfg.Policy.RespawnLimit = 3
+
+	stormDone := func(m *health.Monitor) bool {
+		opened, resolved, _ := m.Recorder.Counts()
+		return opened > 0 && opened == resolved
+	}
+	h, mon := monitorHost(t, cfg, 64, 5*time.Millisecond, 10*time.Second, stormDone)
+
+	if h.Aggregates().Respawns == 0 {
+		t.Fatal("storm config produced no respawns; the test premise is broken")
+	}
+	var storm *health.Incident
+	for _, inc := range mon.Recorder.Incidents() {
+		if inc.Rule.Name == "respawn-storm" {
+			inc := inc
+			storm = &inc
+			break
+		}
+	}
+	if storm == nil {
+		t.Fatalf("no respawn-storm incident; incidents: %+v", mon.Recorder.Incidents())
+	}
+	if len(storm.Offenders) == 0 {
+		t.Fatal("respawn-storm incident has no offender tenants")
+	}
+	for _, o := range storm.Offenders {
+		if o.Score <= 0 {
+			t.Fatalf("offender %s has score %v", o.ID, o.Score)
+		}
+	}
+	if len(storm.Window) == 0 {
+		t.Fatal("respawn-storm incident captured no triggering window")
+	}
+	if len(storm.Events) == 0 {
+		t.Fatal("respawn-storm incident captured no trace events")
+	}
+	if storm.Open() {
+		t.Fatal("respawn-storm incident never resolved after the drain settle")
+	}
+}
+
+// TestFleetQuietRunNoIncidents: with attack injection off, a drain opens
+// nothing — the built-in rules' thresholds sit far above a healthy small
+// fleet's behavior, so the health engine is silent on the happy path.
+func TestFleetQuietRunNoIncidents(t *testing.T) {
+	cfg := quotaConfig(4)
+	_, mon := monitorHost(t, cfg, 32, 5*time.Millisecond, 500*time.Millisecond,
+		func(*health.Monitor) bool { return false })
+	if opened, _, _ := mon.Recorder.Counts(); opened != 0 {
+		t.Fatalf("quiet fleet opened %d incidents: %+v", opened, mon.Recorder.Incidents())
+	}
+}
+
+// TestFleetHistoryScrapeDuringExecution hammers /history and /incidents
+// over HTTP while the fleet executes and the monitor samples — the
+// concurrent reader/writer contract the -race build checks.
+func TestFleetHistoryScrapeDuringExecution(t *testing.T) {
+	cfg := quotaConfig(4)
+	cfg.Policy.AttackProb = 0.5
+	cfg.Policy.RespawnLimit = 2
+
+	h := NewHost(cfg)
+	mon := health.NewMonitor(health.Config{
+		Rules:     DefaultHealthRules(),
+		Telemetry: h.Telemetry(),
+		Recorder:  health.RecorderConfig{Events: h.Telemetry().Trace.Tail, Tenants: h},
+	})
+	if err := h.AddWorkload("libquantum"); err != nil {
+		t.Fatalf("AddWorkload: %v", err)
+	}
+	h.Start(context.Background())
+
+	mux := httptest.NewServer(mon.HistoryHandler())
+	defer mux.Close()
+	incSrv := httptest.NewServer(mon.Recorder.Handler())
+	defer incSrv.Close()
+
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// The single monitor writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				mon.ObserveNow(h.Telemetry().Snapshot())
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	// Concurrent scrapers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			urls := []string{
+				mux.URL + "/history",
+				mux.URL + fmt.Sprintf("/history?series=fleet.respawns,fleet.active&points=%d", 16+g),
+				incSrv.URL + "/incidents",
+			}
+			cl := mux.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				resp, err := cl.Get(urls[i%len(urls)])
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(g)
+	}
+
+	for i := 0; i < 48; i++ {
+		if _, err := h.Admit("libquantum"); err != nil {
+			t.Fatalf("Admit: %v", err)
+		}
+	}
+	h.Close()
+	if err := h.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	close(quit)
+	wg.Wait()
+
+	if mon.History.Len() == 0 {
+		t.Fatal("monitor recorded no samples during the run")
+	}
+}

@@ -114,6 +114,13 @@ type worker struct {
 func (w *worker) loop() {
 	defer w.h.wg.Done()
 	for {
+		// Graceful drain: on context cancel (Ctrl-C) the worker finishes
+		// the slice it is in and stops dispatching new ones, so the host
+		// can still write its final metrics and incident artifacts
+		// instead of silently executing the whole backlog first.
+		if w.h.ctx.Err() != nil {
+			return
+		}
 		t := w.next()
 		if t == nil {
 			if w.h.done() || w.h.ctx.Err() != nil {

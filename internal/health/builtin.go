@@ -1,0 +1,45 @@
+package health
+
+import "time"
+
+// VMRules is the built-in rule set for a single protected VM (hipstr-run):
+// the code-cache and security-pressure anomalies that exist without a
+// fleet. Fleet-scale rules (respawn storms, latency SLO burn, injector
+// starvation) live with the host in fleet.DefaultHealthRules.
+func VMRules() []Rule {
+	return []Rule{
+		{
+			Name:        "code-cache-thrash",
+			Series:      "machine.blockcache.invalidations.full",
+			Kind:        KindRate,
+			Threshold:   50, // whole-cache reconciles/sec
+			Window:      5 * time.Second,
+			For:         time.Second,
+			Cooldown:    2 * time.Second,
+			Severity:    "warn",
+			Description: "full block-cache invalidations sustained: predecoded blocks are being rebuilt wholesale instead of patched",
+		},
+		{
+			Name:        "code-cache-evict-churn",
+			Series:      "machine.blockcache.evicted",
+			Kind:        KindRate,
+			Threshold:   5000, // evicted blocks/sec
+			Window:      5 * time.Second,
+			For:         time.Second,
+			Cooldown:    2 * time.Second,
+			Severity:    "warn",
+			Description: "block eviction churn: translations are being thrown away about as fast as they are made (undersized cache)",
+		},
+		{
+			Name:        "security-event-wave",
+			Series:      "dbt.security_events",
+			Kind:        KindRate,
+			Threshold:   5000, // cache-miss security events/sec
+			Window:      3 * time.Second,
+			For:         500 * time.Millisecond,
+			Cooldown:    2 * time.Second,
+			Severity:    "page",
+			Description: "code-cache-miss security events arriving far above steady state: an active probe or gadget brute-force",
+		},
+	}
+}

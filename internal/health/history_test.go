@@ -1,0 +1,183 @@
+package health
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hipstr/internal/telemetry"
+)
+
+// snap builds a snapshot with the given counters and gauges, the two
+// flattened-series forms the history tests exercise.
+func snap(counters map[string]uint64, gauges map[string]float64) telemetry.Snapshot {
+	return telemetry.Snapshot{Counters: counters, Gauges: gauges}
+}
+
+func appendCounter(h *History, tsNS int64, name string, v uint64) {
+	h.Append(tsNS, snap(map[string]uint64{name: v}, nil))
+}
+
+func TestHistoryEmpty(t *testing.T) {
+	h := NewHistory(8, 16)
+	if h.Len() != 0 || h.Total() != 0 {
+		t.Fatalf("empty history: Len=%d Total=%d", h.Len(), h.Total())
+	}
+	if pts := h.Series("nope"); pts != nil {
+		t.Fatalf("unknown series: got %v, want nil", pts)
+	}
+	if _, ok := h.Latest("nope"); ok {
+		t.Fatal("Latest on empty history reported ok")
+	}
+	if _, ok := h.Rate("nope", time.Second, 0); ok {
+		t.Fatal("Rate on empty history reported ok")
+	}
+	if _, ok := h.Deriv("nope", time.Second, 0); ok {
+		t.Fatal("Deriv on empty history reported ok")
+	}
+	if frac, n := h.BurnFraction("nope", time.Second, 0, OpAbove, 1); frac != 0 || n != 0 {
+		t.Fatalf("BurnFraction on empty history: %v, %d", frac, n)
+	}
+	q := h.Query(nil, 0)
+	if q.Samples != 0 || len(q.Names) != 0 || len(q.Series) != 0 {
+		t.Fatalf("Query on empty history: %+v", q)
+	}
+}
+
+func TestHistoryRingBounded(t *testing.T) {
+	const cap = 8
+	h := NewHistory(cap, 16)
+	for i := 0; i < 3*cap; i++ {
+		appendCounter(h, int64(i)*1e9, "c", uint64(i))
+	}
+	if h.Len() != cap {
+		t.Fatalf("Len=%d, want capacity %d", h.Len(), cap)
+	}
+	if h.Total() != 3*cap {
+		t.Fatalf("Total=%d, want %d", h.Total(), 3*cap)
+	}
+	pts := h.Series("c")
+	if len(pts) != cap {
+		t.Fatalf("retained %d points, want %d", len(pts), cap)
+	}
+	// Oldest-first, and only the newest capacity samples survive.
+	for i, p := range pts {
+		want := float64(3*cap - cap + i)
+		if p.Value != want {
+			t.Fatalf("pts[%d]=%v, want %v", i, p.Value, want)
+		}
+	}
+	last, ok := h.Latest("c")
+	if !ok || last.Value != float64(3*cap-1) {
+		t.Fatalf("Latest=%v ok=%v", last, ok)
+	}
+}
+
+func TestHistoryMaxSeriesBound(t *testing.T) {
+	h := NewHistory(4, 2)
+	h.Append(0, snap(map[string]uint64{"a": 1, "b": 2, "c": 3, "d": 4}, nil))
+	if got := len(h.Names()); got != 2 {
+		t.Fatalf("kept %d series, want 2", got)
+	}
+	if h.DroppedSeries() != 2 {
+		t.Fatalf("DroppedSeries=%d, want 2", h.DroppedSeries())
+	}
+}
+
+func TestHistoryRateCounterReset(t *testing.T) {
+	h := NewHistory(16, 8)
+	// 0s: 100, 1s: 200 (+100), 2s: 30 after a reset (counts as +30), 3s: 50 (+20).
+	for i, v := range []uint64{100, 200, 30, 50} {
+		appendCounter(h, int64(i)*1e9, "c", v)
+	}
+	rate, ok := h.Rate("c", 10*time.Second, 3e9)
+	if !ok {
+		t.Fatal("Rate not ok")
+	}
+	want := (100.0 + 30.0 + 20.0) / 3.0
+	if math.Abs(rate-want) > 1e-9 {
+		t.Fatalf("rate=%v, want %v", rate, want)
+	}
+}
+
+func TestHistoryRateNeedsTwoSamples(t *testing.T) {
+	h := NewHistory(16, 8)
+	appendCounter(h, 0, "c", 5)
+	if _, ok := h.Rate("c", time.Second, 0); ok {
+		t.Fatal("Rate with one sample reported ok")
+	}
+}
+
+func TestHistoryDerivSigned(t *testing.T) {
+	h := NewHistory(16, 8)
+	// A gauge that rises then falls: deriv over the full window is negative.
+	for i, v := range []float64{100, 80, 60, 40} {
+		h.Append(int64(i)*1e9, snap(nil, map[string]float64{"g": v}))
+	}
+	d, ok := h.Deriv("g", 10*time.Second, 3e9)
+	if !ok || math.Abs(d-(-20)) > 1e-9 {
+		t.Fatalf("deriv=%v ok=%v, want -20", d, ok)
+	}
+}
+
+func TestHistoryBurnFraction(t *testing.T) {
+	h := NewHistory(16, 8)
+	for i, v := range []float64{1, 5, 5, 1} { // half the samples above 2
+		h.Append(int64(i)*1e9, snap(nil, map[string]float64{"g": v}))
+	}
+	frac, n := h.BurnFraction("g", 10*time.Second, 3e9, OpAbove, 2)
+	if n != 4 || math.Abs(frac-0.5) > 1e-9 {
+		t.Fatalf("burn=%v over %d samples, want 0.5 over 4", frac, n)
+	}
+}
+
+func TestHistorySparseSeriesSkipsAbsentSamples(t *testing.T) {
+	h := NewHistory(16, 8)
+	appendCounter(h, 0, "a", 1)
+	appendCounter(h, 1e9, "b", 2) // "a" absent: NaN in this row
+	appendCounter(h, 2e9, "a", 3)
+	pts := h.Series("a")
+	if len(pts) != 2 || pts[0].Value != 1 || pts[1].Value != 3 {
+		t.Fatalf("sparse series: %v", pts)
+	}
+}
+
+func TestHistoryQuery(t *testing.T) {
+	h := NewHistory(16, 8)
+	for i := 0; i < 6; i++ {
+		appendCounter(h, int64(i)*1e9, "c", uint64(i))
+	}
+	q := h.Query([]string{"c", "missing"}, 3)
+	if q.Samples != 6 || len(q.Series) != 2 {
+		t.Fatalf("query: %+v", q)
+	}
+	if got := q.Series[0].Points; len(got) != 3 || got[0].Value != 3 {
+		t.Fatalf("maxPoints window: %v", got)
+	}
+	if len(q.Series[1].Points) != 0 {
+		t.Fatalf("missing series should have no points: %v", q.Series[1].Points)
+	}
+	// No names selected -> index form.
+	idx := h.Query(nil, 0)
+	if len(idx.Names) != 1 || idx.Names[0] != "c" {
+		t.Fatalf("index: %+v", idx)
+	}
+}
+
+func TestHistoryHistogramFlattening(t *testing.T) {
+	tel := telemetry.New()
+	hist := tel.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		hist.Observe(float64(i + 1))
+	}
+	h := NewHistory(4, 16)
+	h.Append(1e9, tel.Snapshot())
+	for _, name := range []string{"lat.count", "lat.sum", "lat.p50", "lat.p99"} {
+		if _, ok := h.Latest(name); !ok {
+			t.Fatalf("missing flattened series %s (have %v)", name, h.Names())
+		}
+	}
+	if p, _ := h.Latest("lat.count"); p.Value != 100 {
+		t.Fatalf("lat.count=%v, want 100", p.Value)
+	}
+}

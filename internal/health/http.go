@@ -1,0 +1,118 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HistoryHandler serves the rolling history as JSON time series:
+//
+//	/history                     -> {"samples":N,"names":[...]}
+//	/history?series=a,b&points=N -> {"samples":N,"series":[{name,points}]}
+//
+// Unknown series return with empty points rather than erroring, so a
+// dashboard polling a mixed series list keeps working while a subsystem
+// warms up.
+func (m *Monitor) HistoryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var names []string
+		if s := r.URL.Query().Get("series"); s != "" {
+			for _, n := range strings.Split(s, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+		}
+		points, _ := strconv.Atoi(r.URL.Query().Get("points"))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m.History.Query(names, points))
+	})
+}
+
+// IncidentSummary is one row of the /incidents listing.
+type IncidentSummary struct {
+	ID         int     `json:"id"`
+	Rule       string  `json:"rule"`
+	Severity   string  `json:"severity,omitempty"`
+	State      string  `json:"state"`
+	OpenedNS   int64   `json:"opened_ns"`
+	ResolvedNS int64   `json:"resolved_ns,omitempty"`
+	DurationMS int64   `json:"duration_ms"`
+	Value      float64 `json:"value"`
+	Peak       float64 `json:"peak"`
+	Offenders  int     `json:"offenders"`
+	Condition  string  `json:"condition"`
+}
+
+// Summarize flattens an incident for the listing at nowNS.
+func Summarize(inc Incident, nowNS int64) IncidentSummary {
+	state := "open"
+	if !inc.Open() {
+		state = "resolved"
+	}
+	return IncidentSummary{
+		ID:         inc.ID,
+		Rule:       inc.Rule.Name,
+		Severity:   inc.Severity,
+		State:      state,
+		OpenedNS:   inc.OpenedNS,
+		ResolvedNS: inc.ResolvedNS,
+		DurationMS: inc.Duration(nowNS).Milliseconds(),
+		Value:      inc.Value,
+		Peak:       inc.Peak,
+		Offenders:  len(inc.Offenders),
+		Condition:  inc.Rule.Condition(),
+	}
+}
+
+// IncidentList is the JSON shape served at /incidents.
+type IncidentList struct {
+	Open      int               `json:"open"`
+	Opened    uint64            `json:"opened"`
+	Resolved  uint64            `json:"resolved"`
+	Incidents []IncidentSummary `json:"incidents"`
+}
+
+// Handler serves the incident store:
+//
+//	/incidents      -> IncidentList (summaries, oldest first)
+//	/incidents/{id} -> the full forensic bundle
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		path := strings.TrimSuffix(req.URL.Path, "/")
+		if id := strings.TrimPrefix(path, "/incidents/"); id != path && id != "" {
+			n, err := strconv.Atoi(id)
+			if err != nil {
+				http.Error(w, "bad incident id "+strconv.Quote(id), http.StatusBadRequest)
+				return
+			}
+			inc, ok := r.Incident(n)
+			if !ok {
+				http.Error(w, "unknown incident "+id, http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(inc)
+			return
+		}
+		now := time.Now().UnixNano()
+		opened, resolved, _ := r.Counts()
+		list := IncidentList{
+			Open:     int(opened - resolved),
+			Opened:   opened,
+			Resolved: resolved,
+		}
+		incs := r.Incidents()
+		list.Incidents = make([]IncidentSummary, 0, len(incs))
+		for _, inc := range incs {
+			list.Incidents = append(list.Incidents, Summarize(inc, now))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(list)
+	})
+}

@@ -1,0 +1,200 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+const secNS = int64(time.Second)
+
+// feed appends one gauge sample and evaluates the rules — one monitor tick.
+func feed(h *History, e *Engine, tsNS int64, name string, v float64) {
+	h.Append(tsNS, snap(nil, map[string]float64{name: v}))
+	e.Eval(tsNS)
+}
+
+func newTestEngine(rules ...Rule) (*History, *Engine, *Recorder) {
+	h := NewHistory(64, 16)
+	rec := NewRecorder(RecorderConfig{})
+	return h, NewEngine(h, rec, rules), rec
+}
+
+func TestThresholdLifecycle(t *testing.T) {
+	h, e, rec := newTestEngine(Rule{
+		Name: "hot", Series: "g", Kind: KindThreshold, Threshold: 10,
+		For: 2 * time.Second, Cooldown: 2 * time.Second,
+	})
+	// Healthy.
+	feed(h, e, 0, "g", 1)
+	feed(h, e, 1*secNS, "g", 2)
+	if got := e.OpenCount(); got != 0 {
+		t.Fatalf("open after healthy samples: %d", got)
+	}
+	// Breach: must hold For=2s before opening.
+	feed(h, e, 2*secNS, "g", 50) // badSince=2s
+	feed(h, e, 3*secNS, "g", 60)
+	if e.OpenCount() != 0 {
+		t.Fatal("opened before For elapsed")
+	}
+	feed(h, e, 4*secNS, "g", 70) // 2s of continuous breach
+	if e.OpenCount() != 1 {
+		t.Fatal("did not open after For elapsed")
+	}
+	incs := rec.Incidents()
+	if len(incs) != 1 || incs[0].Rule.Name != "hot" || !incs[0].Open() {
+		t.Fatalf("incidents: %+v", incs)
+	}
+	if incs[0].Value != 70 {
+		t.Fatalf("opening value=%v, want 70", incs[0].Value)
+	}
+	if len(incs[0].Window) == 0 {
+		t.Fatal("threshold incident captured no window")
+	}
+	// Peak tracks the worst value while open.
+	feed(h, e, 5*secNS, "g", 90)
+	if incs = rec.Incidents(); incs[0].Peak != 90 {
+		t.Fatalf("peak=%v, want 90", incs[0].Peak)
+	}
+	// Clear: must stay clear Cooldown=2s before resolving.
+	feed(h, e, 6*secNS, "g", 1) // goodSince=6s
+	feed(h, e, 7*secNS, "g", 1)
+	if e.OpenCount() != 1 {
+		t.Fatal("resolved before Cooldown elapsed")
+	}
+	feed(h, e, 8*secNS, "g", 1)
+	if e.OpenCount() != 0 {
+		t.Fatal("did not resolve after Cooldown")
+	}
+	incs = rec.Incidents()
+	if incs[0].Open() || incs[0].ResolvedNS != 8*secNS {
+		t.Fatalf("resolution: %+v", incs[0])
+	}
+	opened, resolved, stored := rec.Counts()
+	if opened != 1 || resolved != 1 || stored != 1 {
+		t.Fatalf("counts: %d %d %d", opened, resolved, stored)
+	}
+}
+
+// TestHysteresisNoFlapOnSpike is the no-flap guarantee: a single-sample
+// spike that clears by the next evaluation never opens an incident when
+// the rule carries a For window.
+func TestHysteresisNoFlapOnSpike(t *testing.T) {
+	h, e, rec := newTestEngine(Rule{
+		Name: "spiky", Series: "g", Kind: KindThreshold, Threshold: 10,
+		For: time.Second, Cooldown: time.Second,
+	})
+	for i := 0; i < 20; i++ {
+		v := 1.0
+		if i == 10 {
+			v = 1000 // one-sample spike
+		}
+		feed(h, e, int64(i)*secNS/2, "g", v) // 500ms ticks < For=1s
+	}
+	if opened, _, _ := rec.Counts(); opened != 0 {
+		t.Fatalf("single-sample spike opened %d incidents", opened)
+	}
+}
+
+// TestForZeroOpensImmediately: a rule without hysteresis pages on the
+// first breaching evaluation.
+func TestForZeroOpensImmediately(t *testing.T) {
+	h, e, _ := newTestEngine(Rule{Name: "now", Series: "g", Kind: KindThreshold, Threshold: 10})
+	feed(h, e, 0, "g", 11)
+	if e.OpenCount() != 1 {
+		t.Fatal("For=0 rule did not open on first breach")
+	}
+}
+
+func TestRateRuleSurvivesCounterReset(t *testing.T) {
+	h, e, rec := newTestEngine(Rule{
+		Name: "storm", Series: "c", Kind: KindRate, Threshold: 50,
+		Window: 5 * time.Second,
+	})
+	tick := func(ts int64, v uint64) {
+		h.Append(ts, snap(map[string]uint64{"c": v}, nil))
+		e.Eval(ts)
+	}
+	// 10/s: healthy. Then a reset (200 -> 5): with naive deltas the rate
+	// would go hugely negative; reset-safe it stays ~10/s and still no fire.
+	tick(0, 100)
+	tick(1*secNS, 110)
+	tick(2*secNS, 120)
+	tick(3*secNS, 5) // reset
+	tick(4*secNS, 15)
+	if opened, _, _ := rec.Counts(); opened != 0 {
+		t.Fatalf("counter reset opened %d incidents", opened)
+	}
+	// A real storm: +200/s.
+	tick(5*secNS, 215)
+	tick(6*secNS, 415)
+	if e.OpenCount() != 1 {
+		t.Fatal("genuine rate storm did not open")
+	}
+}
+
+func TestBurnRule(t *testing.T) {
+	h, e, _ := newTestEngine(Rule{
+		Name: "slo", Series: "g", Kind: KindBurn, Threshold: 100,
+		Fraction: 0.5, Window: 10 * time.Second,
+	})
+	// 1 of 4 samples breaching: 25% < 50%, no fire.
+	for i, v := range []float64{10, 500, 10, 10} {
+		feed(h, e, int64(i)*secNS, "g", v)
+	}
+	if e.OpenCount() != 0 {
+		t.Fatal("burn fired below fraction")
+	}
+	// Push the breach fraction over 50% of the window.
+	for i := 4; i < 10; i++ {
+		feed(h, e, int64(i)*secNS, "g", 500)
+	}
+	if e.OpenCount() != 1 {
+		t.Fatal("burn did not fire above fraction")
+	}
+}
+
+func TestDerivRuleIgnoresDrainingGauge(t *testing.T) {
+	h, e, rec := newTestEngine(Rule{
+		Name: "starve", Series: "depth", Kind: KindDeriv, Threshold: 50,
+		Window: 5 * time.Second,
+	})
+	// A deep queue draining: every slope is negative, so a deriv rule never
+	// sees growth (a reset-safe rate rule would fire here, because it folds
+	// each decrease into "reset + growth from zero").
+	for i, v := range []float64{500, 400, 300, 200, 100} {
+		feed(h, e, int64(i)*secNS, "depth", v)
+	}
+	if opened, _, _ := rec.Counts(); opened != 0 {
+		t.Fatalf("draining gauge opened %d incidents", opened)
+	}
+	// Sustained growth fires.
+	for i, v := range []float64{200, 300, 400, 500} {
+		feed(h, e, int64(5+i)*secNS, "depth", v)
+	}
+	if e.OpenCount() != 1 {
+		t.Fatal("sustained gauge growth did not open")
+	}
+}
+
+func TestMissingSeriesIsHealthy(t *testing.T) {
+	h, e, rec := newTestEngine(Rule{Name: "ghost", Series: "absent", Kind: KindThreshold, Threshold: 1})
+	feed(h, e, 0, "other", 100)
+	feed(h, e, secNS, "other", 100)
+	if opened, _, _ := rec.Counts(); opened != 0 {
+		t.Fatalf("missing series opened %d incidents", opened)
+	}
+}
+
+func TestOpBelow(t *testing.T) {
+	h, e, _ := newTestEngine(Rule{
+		Name: "floor", Series: "g", Kind: KindThreshold, Op: OpBelow, Threshold: 5,
+	})
+	feed(h, e, 0, "g", 10)
+	if e.OpenCount() != 0 {
+		t.Fatal("OpBelow fired above threshold")
+	}
+	feed(h, e, secNS, "g", 2)
+	if e.OpenCount() != 1 {
+		t.Fatal("OpBelow did not fire below threshold")
+	}
+}

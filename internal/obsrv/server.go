@@ -66,8 +66,20 @@ type Options struct {
 	// /tenants lists every guest's summary, /tenants/{id} adds the
 	// tenant's full private telemetry snapshot.
 	Tenants TenantSource
-	// Health, when set, contributes a detail line to /healthz.
+	// Health, when set, contributes a detail line to /healthz. /healthz
+	// stays pure liveness: it answers 200 whenever the process can serve
+	// HTTP, regardless of readiness or open incidents.
 	Health func() string
+	// Ready, when set, gates /readyz: the endpoint answers 200 only once
+	// ready is true (e.g. after fleet prototypes are warmed), 503 with
+	// the detail otherwise. Nil means always ready.
+	Ready func() (ready bool, detail string)
+	// History, when set, serves the health engine's rolling metric
+	// history at /history (health.Monitor.HistoryHandler).
+	History http.Handler
+	// Incidents, when set, serves the incident flight recorder at
+	// /incidents and /incidents/{id} (health.Recorder.Handler).
+	Incidents http.Handler
 	// SSEBuffer overrides the per-subscriber ring capacity (tests).
 	SSEBuffer int
 	// SSEKeepalive overrides the idle-stream keepalive interval for
@@ -109,7 +121,10 @@ func NewHandler(o Options) (http.Handler, *EventHub) {
 			"/timeline     span ring as Chrome trace JSON (ui.perfetto.dev)\n"+
 			"/profile      sampling profiler (?format=folded|top|json, ?n=N)\n"+
 			"/tenants      fleet drill-down (list; /tenants/{id} for one guest)\n"+
+			"/history      rolling metric history (?series=a,b&points=N)\n"+
+			"/incidents    incident flight recorder (list; /incidents/{id} for a bundle)\n"+
 			"/healthz      liveness\n"+
+			"/readyz       readiness (503 until prototypes are warmed)\n"+
 			"/debug/pprof  simulator self-profiling\n")
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -119,6 +134,40 @@ func NewHandler(o Options) (http.Handler, *EventHub) {
 			fmt.Fprintln(w, o.Health())
 		}
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o.Ready != nil {
+			if ready, detail := o.Ready(); !ready {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "not ready")
+				if detail != "" {
+					fmt.Fprintln(w, detail)
+				}
+				return
+			} else if detail != "" {
+				fmt.Fprintln(w, "ready")
+				fmt.Fprintln(w, detail)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		if o.History == nil {
+			http.Error(w, "health engine not attached (hipstr-fleet -health-interval 0 disables it)", http.StatusNotFound)
+			return
+		}
+		o.History.ServeHTTP(w, r)
+	})
+	incidents := func(w http.ResponseWriter, r *http.Request) {
+		if o.Incidents == nil {
+			http.Error(w, "health engine not attached (hipstr-fleet -health-interval 0 disables it)", http.StatusNotFound)
+			return
+		}
+		o.Incidents.ServeHTTP(w, r)
+	}
+	mux.HandleFunc("/incidents", incidents)
+	mux.HandleFunc("/incidents/", incidents)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap, ok := latest(o)
 		if !ok {

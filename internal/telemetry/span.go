@@ -157,6 +157,17 @@ func (st *SpanTracer) Spans() []SpanEvent {
 	return append(out, st.ring[:start]...)
 }
 
+// Tail returns the most recent n completed spans in completion order (all
+// of them when n <= 0 or exceeds the buffer) — the flight-recorder tap
+// mirroring Tracer.Tail.
+func (st *SpanTracer) Tail(n int) []SpanEvent {
+	spans := st.Spans()
+	if n > 0 && len(spans) > n {
+		spans = spans[len(spans)-n:]
+	}
+	return spans
+}
+
 func (st *SpanTracer) readCycles() float64 {
 	st.mu.Lock()
 	f := st.cycles

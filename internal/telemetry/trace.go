@@ -119,6 +119,18 @@ func (t *Tracer) Emitted() uint64 {
 	return t.seq
 }
 
+// Tail returns the most recent n buffered events in emission order (all
+// of them when n <= 0 or exceeds the buffer). It is the flight-recorder
+// tap: an incident bundle wants the last few dozen events, not a copy of
+// the whole ring.
+func (t *Tracer) Tail(n int) []Event {
+	evs := t.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
 // Events returns the buffered events in emission order.
 func (t *Tracer) Events() []Event {
 	t.mu.Lock()
